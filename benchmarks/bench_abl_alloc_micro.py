@@ -1,0 +1,49 @@
+"""Ablation A6: allocator micro-costs.
+
+Times the raw allocate/release cycle of every strategy on the paper's
+16x22 mesh under a realistic mixed request stream (no simulation around
+it).  These are the real pytest-benchmark timings (multiple rounds) --
+the per-figure benches time whole simulations instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc import make_allocator
+
+SPECS = ["GABL", "Paging(0)", "MBS", "FF", "BF", "Random"]
+
+
+def _request_stream(n: int = 200, seed: int = 5):
+    rng = np.random.default_rng(seed)
+    widths = rng.integers(1, 17, size=n)
+    lengths = rng.integers(1, 23, size=n)
+    return list(zip(widths.tolist(), lengths.tolist()))
+
+
+STREAM = _request_stream()
+
+
+def _churn(spec: str) -> int:
+    """Allocate/release churn: hold a rolling window of live jobs."""
+    alloc = make_allocator(spec, 16, 22)
+    live: list = []
+    done = 0
+    for j, (w, l) in enumerate(STREAM):
+        a = alloc.allocate(j, w, l)
+        if a is not None:
+            live.append(a)
+            done += 1
+        if len(live) > 4:  # keep the mesh partially full
+            alloc.release(live.pop(0))
+    for a in live:
+        alloc.release(a)
+    return done
+
+
+@pytest.mark.parametrize("spec", SPECS)
+def test_abl_alloc_micro(benchmark, spec):
+    successes = benchmark(_churn, spec)
+    assert successes > 0

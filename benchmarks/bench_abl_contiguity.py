@@ -1,0 +1,66 @@
+"""Ablation A4: the contiguity spectrum.
+
+Places GABL between the two poles the paper motivates against:
+
+* contiguous First-Fit/Best-Fit suffer *external fragmentation* (requests
+  fail although enough processors are free -> lower utilization, longer
+  queues);
+* Random non-contiguous scatter eliminates fragmentation but maximises
+  dispersion (worst packet latency).
+
+GABL should match the non-contiguous strategies' utilization while
+keeping latency far below Random's.
+"""
+
+from __future__ import annotations
+
+from _helpers import results_dir
+
+from repro.alloc import make_allocator
+from repro.core.config import PAPER_CONFIG
+from repro.core.simulator import Simulator
+from repro.experiments.runner import Scale, make_workload
+from repro.sched import make_scheduler
+
+STRATEGIES = ("GABL", "ANCA", "FF", "BF", "Random", "Paging(0)")
+
+
+def _run(alloc: str, jobs: int) -> dict[str, float]:
+    cfg = PAPER_CONFIG.with_(jobs=jobs)
+    allocator = make_allocator(alloc, cfg.width, cfg.length)
+    sc = Scale("abl", jobs=jobs, min_replications=1, max_replications=1,
+               trace_max_jobs=None)
+    sim = Simulator(cfg, allocator, make_scheduler("FCFS"),
+                    make_workload("uniform", cfg, 0.011, sc))
+    r = sim.run()
+    return {
+        "turnaround": r.mean_turnaround,
+        "latency": r.mean_packet_latency,
+        "utilization": r.utilization,
+        "failures": float(allocator.stats.failures),
+    }
+
+
+def test_abl_contiguity_spectrum(benchmark, scale):
+    jobs = {"smoke": 120, "quick": 300, "paper": 1000}.get(scale, 120)
+    rows = {name: _run(name, jobs) for name in STRATEGIES}
+
+    lines = ["A4: contiguity spectrum, uniform workload at load 0.011"]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:10s} turnaround={row['turnaround']:8.1f} "
+            f"latency={row['latency']:7.1f} util={row['utilization']:.3f} "
+            f"failures={row['failures']:.0f}"
+        )
+    table = "\n".join(lines)
+    print("\n" + table)
+    (results_dir() / "abl_contiguity.txt").write_text(table + "\n")
+
+    # contiguous strategies pay external fragmentation: more failed
+    # attempts and no better turnaround than GABL
+    assert rows["FF"]["failures"] >= rows["GABL"]["failures"]
+    assert rows["FF"]["turnaround"] >= 0.9 * rows["GABL"]["turnaround"]
+    # random scatter pays dispersion: clearly worse latency than GABL
+    assert rows["Random"]["latency"] > 1.1 * rows["GABL"]["latency"]
+
+    benchmark.pedantic(_run, args=("GABL", 60), rounds=1, iterations=1)

@@ -1,0 +1,87 @@
+"""Ablation A7: the three network engines compared.
+
+``fast`` (whole-path reservation), ``causal`` (exact per-hop arbitration)
+and ``sfb`` (single-flit-buffer wormhole with chained channel holding).
+DESIGN.md 2.1: fast may over-state and sfb must further amplify
+contention relative to causal, all three must agree on the paper's
+winner, and fast must be substantially quicker -- this bench quantifies
+all of it.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _helpers import results_dir
+
+from repro.alloc import make_allocator
+from repro.core.config import PAPER_CONFIG
+from repro.core.simulator import Simulator
+from repro.experiments.runner import Scale, make_workload
+from repro.sched import make_scheduler
+
+ALLOCS = ("GABL", "Paging(0)", "MBS")
+
+
+def _run(alloc: str, mode: str, jobs: int) -> tuple[dict[str, float], float]:
+    cfg = PAPER_CONFIG.with_(jobs=jobs)
+    sc = Scale("abl", jobs=jobs, min_replications=1, max_replications=1,
+               trace_max_jobs=None)
+    sim = Simulator(
+        cfg,
+        make_allocator(alloc, cfg.width, cfg.length),
+        make_scheduler("FCFS"),
+        make_workload("uniform", cfg, 0.009, sc),
+        network_mode=mode,
+    )
+    t0 = time.perf_counter()
+    r = sim.run()
+    dt = time.perf_counter() - t0
+    return (
+        {"service": r.mean_service, "latency": r.mean_packet_latency},
+        dt,
+    )
+
+
+def test_abl_network_mode(benchmark, scale):
+    jobs = {"smoke": 80, "quick": 200, "paper": 500}.get(scale, 80)
+    modes = ("fast", "causal", "sfb")
+    results: dict[str, dict[str, dict[str, float]]] = {m: {} for m in modes}
+    times = {m: 0.0 for m in modes}
+    for mode in modes:
+        for alloc in ALLOCS:
+            metrics, dt = _run(alloc, mode, jobs)
+            results[mode][alloc] = metrics
+            times[mode] += dt
+
+    lines = [f"A7: network modes, uniform load 0.009, {jobs} jobs"]
+    for mode in modes:
+        for alloc in ALLOCS:
+            m = results[mode][alloc]
+            lines.append(
+                f"{mode:7s} {alloc:10s} service={m['service']:7.1f} "
+                f"latency={m['latency']:7.1f}"
+            )
+    speedup = times["causal"] / max(times["fast"], 1e-9)
+    lines.append(f"wall-clock: fast={times['fast']:.2f}s "
+                 f"causal={times['causal']:.2f}s speedup={speedup:.1f}x")
+    table = "\n".join(lines)
+    print("\n" + table)
+    (results_dir() / "abl_network_mode.txt").write_text(table + "\n")
+
+    # (b) the paper's headline winner is preserved across all engines:
+    # GABL has the best service time (MBS/Paging ordering on latency can
+    # swap within noise at smoke scale, so only the winner is asserted)
+    for mode in modes:
+        best_service = min(ALLOCS, key=lambda a: results[mode][a]["service"])
+        assert best_service == "GABL", (mode, results[mode])
+    # (c) fast mode is meaningfully faster
+    assert speedup > 2.0
+    # (d) single-flit buffers only add chained stalls relative to causal
+    for alloc in ALLOCS:
+        assert (
+            results["sfb"][alloc]["latency"]
+            >= 0.95 * results["causal"][alloc]["latency"]
+        )
+
+    benchmark.pedantic(_run, args=("GABL", "fast", 50), rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+"""Ablation A2: Paging ``size_index`` and internal fragmentation.
+
+The paper (section 3): "there is internal processor fragmentation for
+size_index >= 1, and it increases with size_index".  On a 16x16 mesh
+(divisible by every page size used) we run Paging(0), Paging(1) and
+Paging(2) and verify that larger pages waste more processors (allocated
+minus requested) and lose allocation completeness.
+"""
+
+from __future__ import annotations
+
+from _helpers import results_dir
+
+from repro.alloc.paging import PagingAllocator
+from repro.core.config import PAPER_CONFIG
+from repro.core.simulator import Simulator
+from repro.experiments.runner import Scale, make_workload
+from repro.sched import make_scheduler
+
+
+def _run(size_index: int, jobs: int) -> dict[str, float]:
+    cfg = PAPER_CONFIG.with_(width=16, length=16, jobs=jobs)
+    allocator = PagingAllocator(16, 16, size_index=size_index)
+    sc = Scale("abl", jobs=jobs, min_replications=1, max_replications=1,
+               trace_max_jobs=None)
+    sim = Simulator(cfg, allocator, make_scheduler("FCFS"),
+                    make_workload("uniform", cfg, 0.008, sc))
+    r = sim.run()
+    # internal fragmentation: processors granted beyond those requested
+    stats = allocator.stats
+    return {
+        "turnaround": r.mean_turnaround,
+        "utilization": r.utilization,
+        "failures": float(stats.failures),
+        "mean_fragments": r.mean_fragments,
+    }
+
+
+def test_abl_pagesize_internal_fragmentation(benchmark, scale):
+    jobs = {"smoke": 120, "quick": 300, "paper": 1000}.get(scale, 120)
+    rows = {i: _run(i, jobs) for i in (0, 1, 2)}
+
+    lines = ["A2: Paging(size_index) internal fragmentation, 16x16 mesh"]
+    for i, row in rows.items():
+        lines.append(
+            f"Paging({i})  turnaround={row['turnaround']:8.1f} "
+            f"util={row['utilization']:.3f} alloc-failures={row['failures']:.0f}"
+        )
+    table = "\n".join(lines)
+    print("\n" + table)
+    (results_dir() / "abl_pagesize.txt").write_text(table + "\n")
+
+    # coarser pages -> more allocation failures (lost completeness) and
+    # no better turnaround
+    assert rows[2]["failures"] >= rows[0]["failures"]
+    assert rows[1]["turnaround"] >= 0.8 * rows[0]["turnaround"]
+
+    benchmark.pedantic(_run, args=(1, 60), rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Ablation A5: sensitivity to the wormhole parameters t_s and P_len.
+
+The paper fixes t_s = 3 and P_len = 8 (recommended by the ProcSimity
+manual).  Packet latency must respond monotonically to both: larger
+router delays stretch every hop, longer packets stretch both channel
+occupancy (contention) and the drain.
+"""
+
+from __future__ import annotations
+
+from _helpers import results_dir
+
+from repro.alloc import make_allocator
+from repro.core.config import PAPER_CONFIG
+from repro.core.simulator import Simulator
+from repro.experiments.runner import Scale, make_workload
+from repro.sched import make_scheduler
+
+
+def _run(t_s: float, p_len: int, jobs: int) -> float:
+    cfg = PAPER_CONFIG.with_(jobs=jobs, t_s=t_s, p_len=p_len)
+    sc = Scale("abl", jobs=jobs, min_replications=1, max_replications=1,
+               trace_max_jobs=None)
+    sim = Simulator(
+        cfg,
+        make_allocator("GABL", cfg.width, cfg.length),
+        make_scheduler("FCFS"),
+        make_workload("uniform", cfg, 0.007, sc),
+    )
+    return sim.run().mean_packet_latency
+
+
+def test_abl_wormhole_parameters(benchmark, scale):
+    jobs = {"smoke": 100, "quick": 250, "paper": 800}.get(scale, 100)
+    t_s_sweep = {t: _run(t, 8, jobs) for t in (1.0, 3.0, 5.0)}
+    p_len_sweep = {p: _run(3.0, p, jobs) for p in (4, 8, 16)}
+
+    lines = ["A5: wormhole parameter sensitivity (GABL, uniform, load 0.007)"]
+    lines += [f"t_s={t:<4} P_len=8   latency={v:7.1f}" for t, v in t_s_sweep.items()]
+    lines += [f"t_s=3    P_len={p:<4} latency={v:7.1f}" for p, v in p_len_sweep.items()]
+    table = "\n".join(lines)
+    print("\n" + table)
+    (results_dir() / "abl_wormhole.txt").write_text(table + "\n")
+
+    assert t_s_sweep[1.0] < t_s_sweep[3.0] < t_s_sweep[5.0]
+    assert p_len_sweep[4] < p_len_sweep[8] < p_len_sweep[16]
+
+    benchmark.pedantic(_run, args=(3.0, 8, 60), rounds=1, iterations=1)

@@ -1,0 +1,22 @@
+"""Mean system utilization under saturation, exponential stochastic workload (paper Fig. 10).
+
+The paper: "the non-contiguous allocation strategies achieve a mean
+system utilization of 72% to 89%" and "the utilization of the three
+non-contiguous strategies is approximately the same" (claim C5).
+"""
+
+from _helpers import figure_bench
+
+
+def test_fig10_util_exponential(benchmark, scale):
+    result = figure_bench(benchmark, "fig10", scale)
+    values = {label: series[-1] for label, series in result.series.items()}
+    for label, util in values.items():
+        assert 0.55 <= util <= 0.95, f"{label} utilization {util:.2f} out of range"
+    # approximately the same across allocators (per scheduling strategy)
+    for sched in ("FCFS", "SSD"):
+        per_alloc = [
+            values[f"{alloc}({sched})"]
+            for alloc in ("GABL", "Paging(0)", "MBS")
+        ]
+        assert max(per_alloc) - min(per_alloc) <= 0.2, (sched, per_alloc)

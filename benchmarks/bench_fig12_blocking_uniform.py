@@ -1,0 +1,29 @@
+"""Average packet blocking time vs. load, uniform stochastic workload (paper Fig. 12).
+
+Regenerates the figure's data series (network-level packet statistics per combination of
+{GABL, Paging(0), MBS} x {FCFS, SSD}), writes it to ``results/fig12.txt``
+and verifies the paper's ranking claims for this figure.  Set
+``REPRO_SCALE=paper`` for full-fidelity sweeps.
+"""
+
+from _helpers import (
+    GABL_BEST_FCFS,
+    GABL_BEST_FCFS_MBS,
+    GABL_BEST_SSD,
+    GABL_BEST_SSD_MBS,
+    MBS_BEATS_PAGING_STOCH,
+    PAGING_BEATS_MBS_REAL,
+    figure_bench,
+    ssd_beats_fcfs,
+)
+
+
+def test_fig12_blocking_uniform(benchmark, scale):
+    result = figure_bench(
+        benchmark,
+        "fig12",
+        scale,
+        hard=[GABL_BEST_FCFS, GABL_BEST_FCFS_MBS, GABL_BEST_SSD, GABL_BEST_SSD_MBS],
+        soft=[MBS_BEATS_PAGING_STOCH],
+    )
+    assert result is not None

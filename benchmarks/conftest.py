@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark harness.
+
+Scale selection: set ``REPRO_SCALE`` to ``smoke`` (default), ``quick`` or
+``paper``.  Figure tables are printed and also written to
+``results/<fig>.txt`` so a full paper-scale regeneration leaves a
+reviewable artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import default_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """The fidelity preset used by every figure bench in this session."""
+    return default_scale()
+
+
+def pytest_report_header(config):
+    return f"repro benchmark harness: REPRO_SCALE={default_scale()}"

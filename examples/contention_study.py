@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Contention anatomy: how allocation shape drives network interference.
+
+Uses the network layer directly (no scheduler): each allocation strategy
+first places a handful of resident jobs (fragmenting the mesh its own
+way), then places a fixed study set; every study job performs the same
+all-to-all exchange and we compare per-job fragment counts, packet
+latency and blocking time.  This isolates the paper's core mechanism --
+dispersion turns into channel contention -- from queueing effects.
+"""
+
+from repro import make_allocator
+from repro.core.config import PAPER_CONFIG
+from repro.core.engine import Engine
+from repro.core.job import Job
+from repro.network.topology import MeshTopology
+from repro.network.traffic import AllToAllTraffic
+from repro.network.wormhole import WormholeNetwork
+
+#: jobs placed (width, length): realistic non-power-of-two mix
+JOBS = [(5, 7), (3, 4), (6, 3), (4, 4), (7, 2), (2, 9)]
+#: resident jobs that pre-fragment the mesh (placed by the same strategy,
+#: through the allocator API -- the grid must never be mutated directly)
+RESIDENTS = [(4, 4), (6, 4), (3, 6), (5, 3)]
+MESSAGES = 6
+
+
+def run_strategy(spec: str) -> dict[str, float]:
+    cfg = PAPER_CONFIG
+    allocator = make_allocator(spec, cfg.width, cfg.length)
+    for i, (w, l) in enumerate(RESIDENTS):
+        assert allocator.allocate(100 + i, w, l) is not None
+
+    engine = Engine()
+    network = WormholeNetwork(
+        MeshTopology(cfg.width, cfg.length), engine,
+        t_s=cfg.t_s, p_len=cfg.p_len,
+    )
+    traffic = AllToAllTraffic(network, engine,
+                              round_gap=cfg.round_gap_factor * cfg.p_len)
+
+    jobs = []
+    for i, (w, l) in enumerate(JOBS):
+        job = Job(job_id=i, arrival_time=0.0, width=w, length=l,
+                  messages=MESSAGES)
+        allocation = allocator.allocate(i, w, l)
+        assert allocation is not None, f"{spec} failed to place {w}x{l}"
+        job.allocation = allocation
+        jobs.append(job)
+    # all jobs communicate simultaneously -- worst-case interference
+    done = []
+    for job in jobs:
+        job.alloc_time = 0.0
+        traffic.launch(job, 0.0, lambda j: done.append(j))
+    engine.run()
+    assert len(done) == len(jobs)
+
+    packets = sum(j.packet_count for j in jobs)
+    return {
+        "fragments": sum(j.allocation.fragment_count for j in jobs) / len(jobs),
+        "latency": sum(j.latency_sum for j in jobs) / packets,
+        "blocking": sum(j.blocking_sum for j in jobs) / packets,
+        "makespan": engine.now,
+    }
+
+
+def main() -> None:
+    print("fixed job set on a pre-fragmented 16x22 mesh, all-to-all "
+          f"({MESSAGES} rounds):\n")
+    header = (f"{'strategy':12s} {'frags/job':>10s} {'latency':>9s} "
+              f"{'blocking':>9s} {'makespan':>9s}")
+    print(header)
+    print("-" * len(header))
+    for spec in ("GABL", "MBS", "Paging(0)", "Random"):
+        row = run_strategy(spec)
+        print(
+            f"{spec:12s} {row['fragments']:10.2f} {row['latency']:9.1f} "
+            f"{row['blocking']:9.1f} {row['makespan']:9.1f}"
+        )
+    print(
+        "\nfewer fragments -> shorter paths -> less channel holding: the "
+        "ordering\nhere is the causal chain behind every figure in the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one strategy combination and read the results.
+
+Runs the paper's 16x22 mesh with GABL allocation under FCFS scheduling,
+fed by the uniform stochastic workload, then prints the five performance
+parameters the paper reports and a snapshot of the mesh occupancy.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import SimConfig, Simulator, make_allocator, make_scheduler
+from repro.workload import StochasticWorkload
+
+
+def main() -> None:
+    # the paper's machine and network parameters are the defaults;
+    # we shorten the run to 200 completed jobs for a quick demo
+    cfg = SimConfig(jobs=200, seed=7)
+
+    allocator = make_allocator("GABL", cfg.width, cfg.length)
+    scheduler = make_scheduler("FCFS")
+    workload = StochasticWorkload(cfg, load=0.008, sides="uniform")
+
+    sim = Simulator(cfg, allocator, scheduler, workload)
+    result = sim.run()
+
+    print(f"mesh               : {cfg.width} x {cfg.length} "
+          f"({cfg.processors} processors)")
+    print(f"strategy           : {allocator.name}({scheduler.name})")
+    print(f"completed jobs     : {result.completed_jobs}")
+    print(f"avg turnaround time: {result.mean_turnaround:10.1f} time units")
+    print(f"avg service time   : {result.mean_service:10.1f} time units")
+    print(f"avg packet latency : {result.mean_packet_latency:10.1f} time units")
+    print(f"avg packet blocking: {result.mean_packet_blocking:10.1f} time units")
+    print(f"mean utilization   : {result.utilization:10.3f}")
+    print(f"packets delivered  : {result.packets_delivered}")
+    print(f"jobs split into    : {result.mean_fragments:.2f} sub-meshes on average")
+    print(f"contiguous jobs    : {result.contiguity_rate:.1%}")
+
+    # peek at the allocator state left at the end of the run
+    print("\nfinal mesh occupancy ('#' = allocated):")
+    print(allocator.grid.ascii_art())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Saturation dynamics behind the utilization bar charts (Figs. 8-10).
+
+The paper measures utilization at a load where "the waiting queue is
+filled very early, allowing each strategy to reach its upper limits of
+utilization".  This example makes that premise visible: a state sampler
+records utilization and queue length over time, showing the ramp, the
+early queue blow-up, and the plateau each strategy settles on.
+"""
+
+from repro import PAPER_CONFIG, Simulator, make_allocator, make_scheduler
+from repro.core.sampler import StateSampler
+from repro.workload import StochasticWorkload
+
+LOAD = 0.03  # the fig9 saturation load
+JOBS = 250
+
+
+def run(alloc: str):
+    cfg = PAPER_CONFIG.with_(jobs=JOBS)
+    sim = Simulator(
+        cfg,
+        make_allocator(alloc, cfg.width, cfg.length),
+        make_scheduler("FCFS"),
+        StochasticWorkload(cfg, load=LOAD, sides="uniform"),
+    )
+    sampler = StateSampler(sim, period=200.0)
+    sampler.start()
+    sim.run()
+    return sampler
+
+
+def sparkline(values, width=60):
+    """Compress a series into a width-character unicode sparkline."""
+    marks = " .:-=+*#%@"
+    if not values:
+        return ""
+    step = max(1, len(values) // width)
+    picked = values[::step][:width]
+    hi = max(picked) or 1.0
+    return "".join(marks[min(int(v / hi * (len(marks) - 1)), 9)] for v in picked)
+
+
+def main() -> None:
+    print(f"uniform workload at saturation load {LOAD}, {JOBS} jobs, FCFS\n")
+    for alloc in ("GABL", "Paging(0)", "MBS"):
+        sampler = run(alloc)
+        util = [u for _, u in sampler.utilization_series()]
+        queue = [float(q) for _, q in sampler.queue_series()]
+        t_fill = sampler.time_to_queue(20)
+        plateau = sampler.plateau_utilization()
+        print(f"{alloc}:")
+        print(f"  utilization |{sparkline(util)}|  plateau={plateau:.2f}")
+        print(f"  queue       |{sparkline(queue)}|  "
+              f"20-deep at t={t_fill:.0f}" if t_fill else "  queue never filled")
+        print()
+    print(
+        "all three non-contiguous strategies plateau in the same high band\n"
+        "(the paper's 72-89% claim) because each allocates whenever enough\n"
+        "processors are free -- the queue, not fragmentation, is the limit."
+    )
+
+
+if __name__ == "__main__":
+    main()

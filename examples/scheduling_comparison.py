@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""FCFS vs. SSD under a heavy-tailed workload (paper section 4).
+
+The paper: "the effects of the SSD scheduling strategy on the performance
+of the allocation strategies are better than that of the FCFS scheduling
+strategy".  This example shows *why* with per-job detail: under FCFS a
+long job at the queue head blocks everything behind it; SSD lets short
+jobs overtake, collapsing the turnaround of the many short jobs at a
+modest cost to the few long ones.
+"""
+
+from repro import PAPER_CONFIG, Simulator, make_allocator, make_scheduler
+from repro.stats.distribution import percentile
+from repro.workload import TraceWorkload, synthesize_sdsc_trace
+
+LOAD = 0.04
+JOBS = 600
+
+
+def run(sched: str):
+    cfg = PAPER_CONFIG.with_(jobs=JOBS)
+    trace = synthesize_sdsc_trace()
+    sim = Simulator(
+        cfg,
+        make_allocator("GABL", cfg.width, cfg.length),
+        make_scheduler(sched),
+        TraceWorkload(cfg, trace, load=LOAD, max_jobs=JOBS + 50),
+        keep_jobs=True,
+    )
+    result = sim.run()
+    return result, sim.metrics.per_job
+
+
+def main() -> None:
+    print(f"GABL allocation, real workload at load {LOAD}, {JOBS} jobs\n")
+    rows = {}
+    for sched in ("FCFS", "SSD"):
+        result, jobs = run(sched)
+        waits = [j.wait_time for j in jobs]
+        turnarounds = [j.turnaround for j in jobs]
+        short = [j.turnaround for j in jobs if j.service_demand <= 600.0]
+        long_ = [j.turnaround for j in jobs if j.service_demand > 600.0]
+        rows[sched] = (result, waits, turnarounds, short, long_)
+
+    header = (f"{'':22s} {'FCFS':>12s} {'SSD':>12s}")
+    print(header)
+    print("-" * len(header))
+
+    def line(label, fn):
+        f = fn(*rows["FCFS"][1:])
+        s = fn(*rows["SSD"][1:])
+        print(f"{label:22s} {f:12.1f} {s:12.1f}")
+
+    line("mean wait", lambda w, t, sh, lo: sum(w) / len(w))
+    line("mean turnaround", lambda w, t, sh, lo: sum(t) / len(t))
+    line("median turnaround", lambda w, t, sh, lo: percentile(t, 50))
+    line("p95 turnaround", lambda w, t, sh, lo: percentile(t, 95))
+    line("short jobs mean", lambda w, t, sh, lo: sum(sh) / max(len(sh), 1))
+    line("long jobs mean", lambda w, t, sh, lo: sum(lo) / max(len(lo), 1))
+
+    f_util = rows["FCFS"][0].utilization
+    s_util = rows["SSD"][0].utilization
+    print(f"{'utilization':22s} {f_util:12.3f} {s_util:12.3f}")
+    print(
+        "\nSSD collapses the wait of the short-job majority (median, p95) "
+        "while the\nfew long jobs pay -- exactly the trade the paper reports "
+        "in Figs. 2-4."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Sweep system load for all six strategy combinations (mini Fig. 3).
+
+Reproduces the turnaround-vs-load experiment of the paper's Fig. 3 at a
+reduced scale, printing the table and an ASCII plot.  This goes through
+:mod:`repro.experiments`, the same machinery the benchmark harness uses,
+so results are cached under ``.repro-cache/``.
+
+Usage::
+
+    python examples/stochastic_sweep.py [fig3|fig4|...]
+    REPRO_SCALE=quick python examples/stochastic_sweep.py
+"""
+
+import sys
+
+from repro.experiments import (
+    ascii_plot,
+    default_scale,
+    format_figure,
+    run_figure,
+)
+
+
+def main() -> None:
+    fig_id = sys.argv[1] if len(sys.argv) > 1 else "fig3"
+    scale = default_scale()
+    print(f"regenerating {fig_id} at scale={scale} "
+          f"(set REPRO_SCALE=paper for full fidelity)...\n")
+    result = run_figure(fig_id, scale=scale)
+    print(format_figure(result))
+    print()
+    print(ascii_plot(result))
+
+    gabl = result.series_for("GABL", "FCFS")
+    paging = result.series_for("Paging(0)", "FCFS")
+    mbs = result.series_for("MBS", "FCFS")
+    print(
+        f"\nat the highest load, GABL(FCFS) turnaround is "
+        f"{gabl[-1] / paging[-1]:.0%} of Paging(0)(FCFS) and "
+        f"{gabl[-1] / mbs[-1]:.0%} of MBS(FCFS)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Legacy setup shim.
+
+The environment is offline and lacks the ``wheel`` package, so PEP 660
+editable installs fail; ``pip install -e . --no-use-pep517
+--no-build-isolation`` (or plain ``pip install -e .`` on a normal machine)
+uses this shim instead.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    entry_points={"console_scripts": ["repro-mesh = repro.cli:main"]},
+)

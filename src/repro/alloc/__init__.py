@@ -1,0 +1,67 @@
+"""Processor allocation strategies.
+
+The paper evaluates the non-contiguous strategies Paging(0), MBS and GABL;
+contiguous First-Fit/Best-Fit and a Random scatter baseline are included
+for the ablation studies.  :func:`make_allocator` builds a strategy from
+its paper-style spec string (e.g. ``"Paging(0)"``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.alloc.anca import ANCAAllocator
+from repro.alloc.base import Allocation, Allocator, AllocatorStats
+from repro.alloc.contiguous import BestFitAllocator, FirstFitAllocator
+from repro.alloc.gabl import GABLAllocator
+from repro.alloc.mbs import MBSAllocator
+from repro.alloc.paging import PagingAllocator
+from repro.alloc.random_alloc import RandomAllocator
+
+__all__ = [
+    "Allocation",
+    "Allocator",
+    "AllocatorStats",
+    "PagingAllocator",
+    "MBSAllocator",
+    "GABLAllocator",
+    "ANCAAllocator",
+    "FirstFitAllocator",
+    "BestFitAllocator",
+    "RandomAllocator",
+    "make_allocator",
+    "ALLOCATORS",
+]
+
+#: plain-name registry (Paging takes a parameter, handled by the factory)
+ALLOCATORS: dict[str, type[Allocator]] = {
+    "MBS": MBSAllocator,
+    "GABL": GABLAllocator,
+    "ANCA": ANCAAllocator,
+    "FF": FirstFitAllocator,
+    "BF": BestFitAllocator,
+    "Random": RandomAllocator,
+}
+
+_PAGING_RE = re.compile(r"^Paging\((\d+)\)$")
+
+
+def make_allocator(spec: str, width: int, length: int, **kwargs) -> Allocator:
+    """Build an allocator from a spec string.
+
+    ``spec`` is the paper-style name: ``"GABL"``, ``"MBS"``,
+    ``"Paging(0)"`` (any non-negative page index), ``"FF"``, ``"BF"`` or
+    ``"Random"``.  Extra keyword arguments are forwarded to the strategy
+    constructor (e.g. ``indexing=`` for Paging, ``seed=`` for Random).
+    """
+    m = _PAGING_RE.match(spec)
+    if m:
+        return PagingAllocator(width, length, size_index=int(m.group(1)), **kwargs)
+    try:
+        cls = ALLOCATORS[spec]
+    except KeyError:
+        raise KeyError(
+            f"unknown allocator spec {spec!r}; expected one of "
+            f"{sorted(ALLOCATORS)} or 'Paging(i)'"
+        ) from None
+    return cls(width, length, **kwargs)

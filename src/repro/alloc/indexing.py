@@ -1,0 +1,88 @@
+"""Page indexing schemes for the Paging strategy (Lo et al. [17]).
+
+The Paging strategy divides the mesh into equal square pages and allocates
+pages in a fixed *index order*.  Lo et al. define four orders -- row-major,
+shuffled row-major, snake-like, and shuffled snake-like -- and report that
+the choice has "only a slight impact" on performance, which is why the
+paper under reproduction uses row-major only.  We implement all four (the
+ablation bench ``bench_abl_indexing`` checks the slight-impact claim).
+
+The *shuffled* orders interleave pages recursively by quadrant; for page
+grids whose sides are powers of two this is exactly the Morton (Z-order)
+shuffle of the row-major / snake positions.  For non-power-of-two page
+grids we rank pages by their Morton key, which degrades gracefully to the
+same recursive interleaving.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.mesh.geometry import Coord
+
+IndexScheme = Callable[[int, int], list[Coord]]
+
+
+def row_major(pw: int, pl: int) -> list[Coord]:
+    """Pages ordered by ``(y, x)`` -- the paper's default."""
+    return [Coord(x, y) for y in range(pl) for x in range(pw)]
+
+
+def snake(pw: int, pl: int) -> list[Coord]:
+    """Boustrophedon order: even rows left-to-right, odd rows reversed."""
+    out: list[Coord] = []
+    for y in range(pl):
+        xs = range(pw) if y % 2 == 0 else range(pw - 1, -1, -1)
+        out.extend(Coord(x, y) for x in xs)
+    return out
+
+
+def _morton_key(x: int, y: int) -> int:
+    """Interleave the bits of ``x`` and ``y`` (Z-order curve rank)."""
+    key = 0
+    for bit in range(max(x.bit_length(), y.bit_length(), 1)):
+        key |= ((x >> bit) & 1) << (2 * bit)
+        key |= ((y >> bit) & 1) << (2 * bit + 1)
+    return key
+
+
+def shuffled_row_major(pw: int, pl: int) -> list[Coord]:
+    """Recursive quadrant interleaving of the row-major order."""
+    pages = [Coord(x, y) for y in range(pl) for x in range(pw)]
+    pages.sort(key=lambda c: (_morton_key(c.x, c.y), c.y, c.x))
+    return pages
+
+
+def shuffled_snake(pw: int, pl: int) -> list[Coord]:
+    """Quadrant interleaving applied to snake positions.
+
+    Each page is ranked by the Morton key of its snake-curve position
+    (row, possibly-reflected column), giving the "shuffled snake-like"
+    order of Lo et al.
+    """
+    def snake_pos(c: Coord) -> tuple[int, int]:
+        x = c.x if c.y % 2 == 0 else pw - 1 - c.x
+        return x, c.y
+
+    pages = [Coord(x, y) for y in range(pl) for x in range(pw)]
+    pages.sort(key=lambda c: (_morton_key(*snake_pos(c)), c.y, c.x))
+    return pages
+
+
+#: registry used by :class:`repro.alloc.paging.PagingAllocator`
+SCHEMES: dict[str, IndexScheme] = {
+    "row-major": row_major,
+    "snake": snake,
+    "shuffled-row-major": shuffled_row_major,
+    "shuffled-snake": shuffled_snake,
+}
+
+
+def scheme(name: str) -> IndexScheme:
+    """Look up an indexing scheme by name (raises ``KeyError`` if unknown)."""
+    try:
+        return SCHEMES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown indexing scheme {name!r}; choose from {sorted(SCHEMES)}"
+        ) from None

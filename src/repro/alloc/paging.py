@@ -1,0 +1,143 @@
+"""Paging(size_index) non-contiguous allocation (Lo et al. [17]).
+
+The mesh is divided into square pages of side ``2**size_index``; a page is
+the allocation unit.  Pages are kept in a fixed index order (row-major by
+default, see :mod:`repro.alloc.indexing`) and a request for a ``w x l``
+sub-mesh is satisfied by the first ``ceil(w/ps) * ceil(l/ps)`` free pages
+in that order.
+
+With ``size_index = 0`` (the paper's Paging(0)) a page is a single
+processor, so a request takes exactly ``w*l`` free processors and the
+strategy is *complete*: it succeeds iff enough processors are free.  For
+``size_index >= 1`` whole pages are granted to partially-filled requests,
+i.e. internal fragmentation appears and grows with the index -- the
+ablation bench ``bench_abl_pagesize`` measures this.
+
+Adjacent allocated pages (in grid terms) are merged into maximal runs per
+row when building the allocation's sub-mesh list, which keeps the busy
+list and the traffic generator's notion of locality honest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alloc.base import Allocation, Allocator
+from repro.alloc.indexing import scheme
+from repro.mesh.geometry import Coord, SubMesh
+
+
+class PagingAllocator(Allocator):
+    """Paging(``size_index``) with a configurable page indexing scheme."""
+
+    complete = True  # only literally true for size_index == 0 (see class doc)
+
+    def __init__(
+        self,
+        width: int,
+        length: int,
+        size_index: int = 0,
+        indexing: str = "row-major",
+    ) -> None:
+        super().__init__(width, length)
+        if size_index < 0:
+            raise ValueError(f"size_index must be >= 0, got {size_index}")
+        self.size_index = size_index
+        self.page_side = 2**size_index
+        if width % self.page_side or length % self.page_side:
+            raise ValueError(
+                f"mesh {width}x{length} not divisible into "
+                f"{self.page_side}x{self.page_side} pages"
+            )
+        self.indexing = indexing
+        self.name = f"Paging({size_index})"
+        self.complete = size_index == 0
+        self.pages_w = width // self.page_side
+        self.pages_l = length // self.page_side
+        #: page bases in allocation order
+        self._order: list[Coord] = scheme(indexing)(self.pages_w, self.pages_l)
+        #: page free flags, indexed [page_y][page_x]
+        self._page_free = np.ones((self.pages_l, self.pages_w), dtype=bool)
+        self._free_pages = self.pages_w * self.pages_l
+
+    # ------------------------------------------------------------ allocation
+    def pages_needed(self, w: int, l: int) -> int:
+        """Pages required for a ``w x l`` request (ceil per side)."""
+        ps = self.page_side
+        return (-(-w // ps)) * (-(-l // ps))
+
+    def _allocate(self, job_id: int, w: int, l: int) -> Allocation | None:
+        need = self.pages_needed(w, l)
+        if need > self._free_pages:
+            return None
+        taken: list[Coord] = []
+        for page in self._order:
+            if self._page_free[page.y, page.x]:
+                taken.append(page)
+                if len(taken) == need:
+                    break
+        assert len(taken) == need, "free-page counter out of sync"
+        for page in taken:
+            self._page_free[page.y, page.x] = False
+        self._free_pages -= need
+        submeshes = self._merge_pages(taken)
+        for s in submeshes:
+            self.grid.allocate_submesh(s, job_id)
+        return Allocation(
+            job_id=job_id,
+            submeshes=tuple(submeshes),
+            coords=self._coords_of(submeshes),
+            token=tuple(taken),
+        )
+
+    def _release(self, allocation: Allocation) -> None:
+        super()._release(allocation)
+        pages: tuple[Coord, ...] = allocation.token
+        for page in pages:
+            if self._page_free[page.y, page.x]:
+                raise ValueError(f"page {page} already free")
+            self._page_free[page.y, page.x] = True
+        self._free_pages += len(pages)
+
+    def reset(self) -> None:
+        super().reset()
+        self._page_free[:] = True
+        self._free_pages = self.pages_w * self.pages_l
+
+    # -------------------------------------------------------------- helpers
+    def _page_submesh(self, page: Coord) -> SubMesh:
+        """Processor rectangle covered by a page."""
+        ps = self.page_side
+        return SubMesh.from_base(page.x * ps, page.y * ps, ps, ps)
+
+    def _merge_pages(self, pages: list[Coord]) -> list[SubMesh]:
+        """Merge taken pages into maximal horizontal runs per page row.
+
+        A full 2D merge is unnecessary: runs already capture the locality
+        the indexing scheme provides, and the busy list stays small.
+        """
+        ps = self.page_side
+        by_row: dict[int, list[int]] = {}
+        for p in pages:
+            by_row.setdefault(p.y, []).append(p.x)
+        out: list[SubMesh] = []
+        for py in sorted(by_row):
+            xs = sorted(by_row[py])
+            run_start = prev = xs[0]
+            for x in xs[1:]:
+                if x == prev + 1:
+                    prev = x
+                    continue
+                out.append(
+                    SubMesh(run_start * ps, py * ps, (prev + 1) * ps - 1, (py + 1) * ps - 1)
+                )
+                run_start = prev = x
+            out.append(
+                SubMesh(run_start * ps, py * ps, (prev + 1) * ps - 1, (py + 1) * ps - 1)
+            )
+        return out
+
+    @property
+    def free_pages(self) -> int:
+        """Number of currently free pages."""
+        return self._free_pages

@@ -1,0 +1,130 @@
+"""Command-line interface: regenerate paper figures as text tables.
+
+Usage::
+
+    python -m repro fig3                 # one figure, smoke scale
+    python -m repro fig2 fig5 --scale quick
+    python -m repro all --scale paper    # every figure, paper fidelity
+    python -m repro fig2 --swf SDSC-Par-95.swf   # real archive trace
+    python -m repro point --workload uniform --load 0.02 \
+        --alloc GABL --sched SSD         # a single simulation point
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.core.config import PAPER_CONFIG, SimConfig
+from repro.experiments.figures import FIGURES
+from repro.experiments.report import ascii_plot, format_figure, summarize_point
+from repro.experiments.runner import SCALES, default_scale, run_figure, run_point
+from repro.workload.swf import load_swf
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-mesh",
+        description=(
+            "Reproduce Bani-Mohammad et al. (IPDPS 2008): allocation and "
+            "scheduling in 2D mesh multicomputers."
+        ),
+    )
+    p.add_argument(
+        "targets",
+        nargs="+",
+        help="figure ids (fig2..fig16), 'all', 'claims', or 'point'",
+    )
+    p.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="fidelity preset (default: REPRO_SCALE env or 'smoke')",
+    )
+    p.add_argument("--plot", action="store_true", help="add ASCII plots")
+    p.add_argument(
+        "--network-mode",
+        choices=("fast", "causal", "sfb"),
+        default="fast",
+        help="wormhole engine mode (see DESIGN.md 2.1)",
+    )
+    p.add_argument(
+        "--topology",
+        choices=("mesh", "torus"),
+        default="mesh",
+        help="interconnect topology (torus = the paper's future work)",
+    )
+    p.add_argument(
+        "--swf",
+        default=None,
+        help="replay this SWF trace file for the real workload",
+    )
+    # 'point' options
+    p.add_argument("--workload", choices=("real", "uniform", "exponential"))
+    p.add_argument("--load", type=float)
+    p.add_argument("--alloc", default="GABL")
+    p.add_argument("--sched", default="FCFS")
+    return p
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    scale = args.scale or default_scale()
+    config = PAPER_CONFIG.with_(topology=args.topology)
+    trace = None
+    if args.swf:
+        trace = load_swf(args.swf, max_size=PAPER_CONFIG.processors)
+        print(f"loaded {len(trace)} jobs from {args.swf}")
+
+    targets: list[str] = []
+    for t in args.targets:
+        if t == "all":
+            targets.extend(FIGURES)
+        else:
+            targets.append(t)
+
+    for target in targets:
+        if target == "claims":
+            from repro.experiments.claims import verify_all
+
+            report = verify_all(scale=scale, network_mode=args.network_mode)
+            print(report.format())
+            if not report.passed:
+                return 1
+            continue
+        if target == "point":
+            if args.workload is None or args.load is None:
+                print("point requires --workload and --load", file=sys.stderr)
+                return 2
+            t0 = time.perf_counter()
+            point = run_point(
+                args.workload, args.load, args.alloc, args.sched,
+                scale=scale, config=config,
+                network_mode=args.network_mode, trace=trace,
+            )
+            dt = time.perf_counter() - t0
+            print(
+                f"{args.alloc}({args.sched}) {args.workload} load={args.load}: "
+                f"{summarize_point(point)}  [{dt:.1f}s]"
+            )
+            continue
+        if target not in FIGURES:
+            print(f"unknown target {target!r}", file=sys.stderr)
+            return 2
+        t0 = time.perf_counter()
+        result = run_figure(
+            target, scale=scale, config=config,
+            network_mode=args.network_mode, trace=trace,
+        )
+        dt = time.perf_counter() - t0
+        print(format_figure(result))
+        if args.plot:
+            print(ascii_plot(result))
+        print(f"[{target}: scale={scale}, {dt:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Simulation core: configuration, DES kernel, jobs, metrics, orchestrator."""
+
+from repro.core.config import SimConfig
+from repro.core.engine import Engine
+from repro.core.job import Job
+from repro.core.metrics import Metrics, RunResult
+from repro.core.simulator import Simulator
+
+__all__ = ["SimConfig", "Engine", "Job", "Metrics", "RunResult", "Simulator"]

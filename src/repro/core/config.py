@@ -1,0 +1,82 @@
+"""Simulation configuration (the paper's section-5 parameter table).
+
+Defaults are the paper's: a 16x22 mesh (chosen to match the 352-node SDSC
+Paragon partition that generated the trace), router delay ``t_s = 3`` time
+units, ``P_len = 8`` flits per packet, and a mean of ``num_mes = 5``
+messages per processor per job, all-to-all pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class SimConfig:
+    """All knobs of one simulation run."""
+
+    # --- machine (paper: 16 x 22 mesh, 352 processors)
+    width: int = 16
+    length: int = 22
+    #: "mesh" (the paper) or "torus" (its stated future-work direction)
+    topology: str = "mesh"
+
+    # --- interconnect (paper: wormhole switching, t_s = 3, P_len = 8)
+    t_s: float = 3.0  #: router decision delay per node, time units
+    p_len: int = 8  #: packet size in flits; links move one flit/time unit
+
+    # --- traffic (paper: all-to-all, num_mes = 5)
+    num_mes: float = 5.0  #: mean messages per processor per job
+    max_messages: int = 512  #: cap on per-processor messages (trace tail)
+    #: trace jobs' mean communication demand is
+    #: ``num_mes * trace_demand_multiplier`` messages per processor,
+    #: calibrated so simulated real-workload service times land in the
+    #: 200-1500 time-unit range of the paper's Fig. 5 (DESIGN.md 2.3)
+    trace_demand_multiplier: float = 1.0
+    #: communication rounds are spaced ``round_gap_factor * p_len`` time
+    #: units apart (the compute phase between message exchanges of the
+    #: ProcSimity job model); 1.0 means back-to-back injection
+    round_gap_factor: float = 2.0
+
+    # --- run control
+    jobs: int = 1000  #: completed jobs per run (paper: 1000)
+    warmup_jobs: int = 0  #: completions excluded from statistics
+    seed: int = 12345  #: master RNG seed
+    max_time: float | None = None  #: optional wall-clock cut-off (sim time)
+
+    # --- scheduling
+    scheduler_window: int = 1  #: 1 = paper's head-blocking semantics
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.length <= 0:
+            raise ValueError("mesh dimensions must be positive")
+        if self.topology not in ("mesh", "torus"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.t_s < 0:
+            raise ValueError("t_s must be non-negative")
+        if self.p_len < 1:
+            raise ValueError("p_len must be at least one flit")
+        if self.num_mes <= 0:
+            raise ValueError("num_mes must be positive")
+        if self.trace_demand_multiplier <= 0:
+            raise ValueError("trace_demand_multiplier must be positive")
+        if self.round_gap_factor < 1.0:
+            raise ValueError("round_gap_factor must be >= 1 (injection floor)")
+        if self.jobs <= 0:
+            raise ValueError("jobs must be positive")
+        if not 0 <= self.warmup_jobs < self.jobs:
+            raise ValueError("warmup_jobs must be in [0, jobs)")
+
+    @property
+    def processors(self) -> int:
+        """Machine size ``W * L``."""
+        return self.width * self.length
+
+    def with_(self, **changes: Any) -> "SimConfig":
+        """Functional update (configs are immutable)."""
+        return replace(self, **changes)
+
+
+#: the exact parameterisation of the paper's experiments
+PAPER_CONFIG = SimConfig()

@@ -1,0 +1,81 @@
+"""Parallel job model.
+
+A job "arrives in the system, requests a particular sized partition of the
+system's processors and executes on the partition for a period of time"
+(paper section 1).  The request is a sub-mesh shape ``w x l``; the
+communication demand ``messages`` is the per-processor packet count that,
+together with network contention, *determines* the execution time (the
+paper: "execution times of jobs are not simulator inputs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alloc.base import Allocation
+
+
+@dataclass(slots=True)
+class Job:
+    """One parallel job flowing through the simulator."""
+
+    job_id: int
+    arrival_time: float
+    width: int  #: requested sub-mesh width  (paper's ``a``)
+    length: int  #: requested sub-mesh length (paper's ``b``)
+    messages: int  #: packets each allocated processor sends (``K_j``)
+    service_demand: float = 0.0  #: SSD priority key, known at arrival
+    trace_runtime: float | None = None  #: recorded runtime (trace jobs only)
+
+    # lifecycle timestamps, filled by the simulator
+    alloc_time: float | None = None
+    depart_time: float | None = None
+    allocation: Allocation | None = None
+
+    # per-job packet bookkeeping (merged into metrics at completion)
+    pending_packets: int = 0
+    packet_count: int = 0
+    latency_sum: float = 0.0
+    blocking_sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.length <= 0:
+            raise ValueError(f"job {self.job_id}: request sides must be positive")
+        if self.messages < 1:
+            raise ValueError(f"job {self.job_id}: messages must be >= 1")
+        if self.service_demand == 0.0:
+            # default SSD key: communication demand (DESIGN.md section 2.4)
+            self.service_demand = float(self.messages)
+
+    # ------------------------------------------------------------- derived
+    @property
+    def size(self) -> int:
+        """Requested processor count ``w * l``."""
+        return self.width * self.length
+
+    @property
+    def turnaround(self) -> float:
+        """Arrival to departure (paper's *turnaround time*)."""
+        if self.depart_time is None:
+            raise ValueError(f"job {self.job_id} has not departed")
+        return self.depart_time - self.arrival_time
+
+    @property
+    def service_time(self) -> float:
+        """Allocation to departure (paper's *service time*)."""
+        if self.depart_time is None or self.alloc_time is None:
+            raise ValueError(f"job {self.job_id} has not completed service")
+        return self.depart_time - self.alloc_time
+
+    @property
+    def wait_time(self) -> float:
+        """Arrival to allocation (queueing delay)."""
+        if self.alloc_time is None:
+            raise ValueError(f"job {self.job_id} has not been allocated")
+        return self.alloc_time - self.arrival_time
+
+    def record_packet(self, latency: float, blocking: float) -> None:
+        """Accumulate one delivered packet's statistics."""
+        self.packet_count += 1
+        self.latency_sum += latency
+        self.blocking_sum += blocking

@@ -1,0 +1,157 @@
+"""Run-level metric collection.
+
+The paper's five performance parameters (section 5):
+
+* **average turnaround time** -- arrival to departure, per job;
+* **average service time** -- allocation to departure, per job;
+* **average packet latency** -- injection to delivery, per packet;
+* **average packet blocking time** -- time spent stalled in the network
+  holding channels, per packet;
+* **mean system utilization** -- time-weighted fraction of allocated
+  processors.
+
+Packet statistics are accumulated per job while it runs and merged here on
+completion, so the warm-up exclusion treats a job and its packets
+atomically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.job import Job
+
+
+@dataclass(frozen=True, slots=True)
+class RunResult:
+    """Aggregated output of one simulation run."""
+
+    completed_jobs: int
+    measured_jobs: int
+    mean_turnaround: float
+    mean_service: float
+    mean_wait: float
+    mean_packet_latency: float
+    mean_packet_blocking: float
+    utilization: float
+    sim_time: float
+    packets_delivered: int
+    mean_fragments: float
+    contiguity_rate: float
+    queue_peak: int
+
+    def metric(self, name: str) -> float:
+        """Fetch a metric by experiment-registry name."""
+        return getattr(self, name)
+
+
+class Metrics:
+    """Streaming accumulators for one run."""
+
+    __slots__ = (
+        "processors",
+        "warmup_jobs",
+        "completed",
+        "measured",
+        "turnaround_sum",
+        "service_sum",
+        "wait_sum",
+        "latency_sum",
+        "blocking_sum",
+        "packets",
+        "busy_integral",
+        "busy_procs",
+        "last_change",
+        "measure_start",
+        "queue_peak",
+        "fragments_sum",
+        "contiguous_jobs",
+        "per_job",
+        "keep_jobs",
+    )
+
+    def __init__(
+        self, processors: int, warmup_jobs: int = 0, keep_jobs: bool = False
+    ) -> None:
+        self.processors = processors
+        self.warmup_jobs = warmup_jobs
+        self.completed = 0
+        self.measured = 0
+        self.turnaround_sum = 0.0
+        self.service_sum = 0.0
+        self.wait_sum = 0.0
+        self.latency_sum = 0.0
+        self.blocking_sum = 0.0
+        self.packets = 0
+        self.busy_integral = 0.0
+        self.busy_procs = 0
+        self.last_change = 0.0
+        self.measure_start = 0.0
+        self.queue_peak = 0
+        self.fragments_sum = 0
+        self.contiguous_jobs = 0
+        self.per_job: list[Job] = []
+        self.keep_jobs = keep_jobs
+
+    # -------------------------------------------------------- utilization
+    def on_busy_change(self, now: float, delta: int) -> None:
+        """Processor occupancy changed by ``delta`` at time ``now``."""
+        self.busy_integral += self.busy_procs * (now - self.last_change)
+        self.busy_procs += delta
+        self.last_change = now
+        if not 0 <= self.busy_procs <= self.processors:
+            raise AssertionError(
+                f"busy processor count {self.busy_procs} out of range"
+            )
+
+    def utilization_at(self, now: float) -> float:
+        """Time-weighted mean utilization from measure_start to ``now``."""
+        span = now - self.measure_start
+        if span <= 0:
+            return 0.0
+        integral = self.busy_integral + self.busy_procs * (now - self.last_change)
+        return integral / (self.processors * span)
+
+    # ----------------------------------------------------------- lifecycle
+    def on_queue_length(self, length: int) -> None:
+        if length > self.queue_peak:
+            self.queue_peak = length
+
+    def on_completion(self, job: Job) -> None:
+        """A job departed; fold it into the aggregates unless warming up."""
+        self.completed += 1
+        if self.completed <= self.warmup_jobs:
+            return
+        self.measured += 1
+        self.turnaround_sum += job.turnaround
+        self.service_sum += job.service_time
+        self.wait_sum += job.wait_time
+        self.latency_sum += job.latency_sum
+        self.blocking_sum += job.blocking_sum
+        self.packets += job.packet_count
+        if job.allocation is not None:
+            self.fragments_sum += job.allocation.fragment_count
+            if job.allocation.contiguous:
+                self.contiguous_jobs += 1
+        if self.keep_jobs:
+            self.per_job.append(job)
+
+    # -------------------------------------------------------------- output
+    def result(self, now: float) -> RunResult:
+        """Freeze the accumulators into a :class:`RunResult`."""
+        n = max(self.measured, 1)
+        return RunResult(
+            completed_jobs=self.completed,
+            measured_jobs=self.measured,
+            mean_turnaround=self.turnaround_sum / n,
+            mean_service=self.service_sum / n,
+            mean_wait=self.wait_sum / n,
+            mean_packet_latency=self.latency_sum / max(self.packets, 1),
+            mean_packet_blocking=self.blocking_sum / max(self.packets, 1),
+            utilization=self.utilization_at(now),
+            sim_time=now,
+            packets_delivered=self.packets,
+            mean_fragments=self.fragments_sum / n,
+            contiguity_rate=self.contiguous_jobs / n,
+            queue_peak=self.queue_peak,
+        )

@@ -1,0 +1,147 @@
+"""Simulation orchestrator: arrivals -> queue -> allocate -> traffic -> depart.
+
+Wires the DES kernel, an allocation strategy, a scheduling strategy, the
+wormhole network and a workload into one run, mirroring ProcSimity's main
+loop:
+
+* a job arrives and joins the scheduler's queue;
+* the dispatcher considers queue heads in policy order; an allocation
+  attempt that succeeds starts the job's all-to-all traffic, a failure
+  stops dispatching (head-blocking, the paper's semantics);
+* when the last packet of a job is delivered the job departs, its
+  processors are freed, and the dispatcher runs again.
+
+A run ends after ``config.jobs`` completions (the paper uses 1000) or at
+``config.max_time`` for the saturation/utilization experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.alloc.base import Allocator
+from repro.core.config import SimConfig
+from repro.core.engine import Engine
+from repro.core.events import Priority
+from repro.core.job import Job
+from repro.core.metrics import Metrics, RunResult
+from repro.network.topology import MeshTopology
+from repro.network.traffic import AllToAllTraffic
+from repro.network.wormhole import WormholeNetwork
+from repro.sched.policies import Scheduler
+from repro.workload.base import Workload
+
+
+class Simulator:
+    """One simulation run over a fixed strategy combination."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        allocator: Allocator,
+        scheduler: Scheduler,
+        workload: Workload,
+        network_mode: str = "fast",
+        seed: int | None = None,
+        keep_jobs: bool = False,
+    ) -> None:
+        if (allocator.width, allocator.length) != (config.width, config.length):
+            raise ValueError(
+                f"allocator mesh {allocator.width}x{allocator.length} does not "
+                f"match config {config.width}x{config.length}"
+            )
+        self.config = config
+        self.allocator = allocator
+        self.scheduler = scheduler
+        self.workload = workload
+        self.engine = Engine()
+        self.topology = MeshTopology(
+            config.width, config.length, wrap=config.topology == "torus"
+        )
+        self.network = WormholeNetwork(
+            self.topology,
+            self.engine,
+            t_s=config.t_s,
+            p_len=config.p_len,
+            mode=network_mode,
+        )
+        self.traffic = AllToAllTraffic(
+            self.network,
+            self.engine,
+            round_gap=config.round_gap_factor * config.p_len,
+        )
+        self.metrics = Metrics(
+            config.processors, warmup_jobs=config.warmup_jobs, keep_jobs=keep_jobs
+        )
+        self.seed = config.seed if seed is None else seed
+        self._jobs: Iterator[Job] | None = None
+        self._done = False
+        self._arrived = 0
+        self._started = 0
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> RunResult:
+        """Execute the run and return the aggregated metrics."""
+        self._jobs = self.workload.jobs(self.seed)
+        self._schedule_next_arrival()
+        self.engine.run(until=self.config.max_time, stop=lambda: self._done)
+        return self.metrics.result(self.engine.now)
+
+    @property
+    def completed(self) -> int:
+        """Jobs that have departed so far."""
+        return self.metrics.completed
+
+    # ------------------------------------------------------------- arrivals
+    def _schedule_next_arrival(self) -> None:
+        assert self._jobs is not None
+        job = next(self._jobs, None)
+        if job is None:
+            return  # finite trace exhausted
+        # guard against pathological workloads that jump backwards
+        at = max(job.arrival_time, self.engine.now)
+        self.engine.schedule_at(at, self._on_arrival, job, priority=Priority.ARRIVAL)
+
+    def _on_arrival(self, job: Job) -> None:
+        self._arrived += 1
+        self.scheduler.add(job)
+        self.metrics.on_queue_length(len(self.scheduler))
+        self._schedule_next_arrival()
+        self._dispatch()
+
+    # ------------------------------------------------------------- dispatch
+    def _dispatch(self) -> None:
+        """Allocate queue heads until the policy window blocks."""
+        allocator = self.allocator
+        scheduler = self.scheduler
+        progress = True
+        while progress and len(scheduler):
+            progress = False
+            for job in scheduler.peek(self.config.scheduler_window):
+                allocation = allocator.allocate(job.job_id, job.width, job.length)
+                if allocation is not None:
+                    scheduler.remove(job)
+                    self._start(job, allocation)
+                    progress = True
+                    break
+
+    def _start(self, job: Job, allocation) -> None:
+        now = self.engine.now
+        job.alloc_time = now
+        job.allocation = allocation
+        self._started += 1
+        self.metrics.on_busy_change(now, allocation.size)
+        self.traffic.launch(job, now, self._on_complete)
+
+    # ------------------------------------------------------------ departure
+    def _on_complete(self, job: Job) -> None:
+        now = self.engine.now
+        job.depart_time = now
+        assert job.allocation is not None
+        self.allocator.release(job.allocation)
+        self.metrics.on_busy_change(now, -job.allocation.size)
+        self.metrics.on_completion(job)
+        if self.metrics.completed >= self.config.jobs:
+            self._done = True
+            return
+        self._dispatch()

@@ -1,0 +1,46 @@
+"""Experiment registry, runner and reporting for the paper's figures."""
+
+from repro.experiments.figures import COMBOS, FIGURES, FigureSpec, combo_label
+from repro.experiments.runner import (
+    METRICS,
+    SCALES,
+    FigureResult,
+    ResultCache,
+    Scale,
+    default_scale,
+    run_figure,
+    run_point,
+    sdsc_trace,
+)
+from repro.experiments.claims import ClaimReport, ClaimResult, verify_all
+from repro.experiments.report import (
+    ascii_plot,
+    check_ranking,
+    endpoint_ratio,
+    format_figure,
+    series_leq,
+)
+
+__all__ = [
+    "ClaimReport",
+    "ClaimResult",
+    "verify_all",
+    "COMBOS",
+    "FIGURES",
+    "FigureSpec",
+    "combo_label",
+    "METRICS",
+    "SCALES",
+    "FigureResult",
+    "ResultCache",
+    "Scale",
+    "default_scale",
+    "run_figure",
+    "run_point",
+    "sdsc_trace",
+    "ascii_plot",
+    "check_ranking",
+    "endpoint_ratio",
+    "format_figure",
+    "series_leq",
+]

@@ -1,0 +1,35 @@
+"""2D mesh substrate: geometry, occupancy grid, busy list, rectangle search.
+
+The target system of the paper (section 2) is a ``W x L`` 2D mesh where every
+processor is addressed by a coordinate pair ``(x, y)`` with ``0 <= x < W`` and
+``0 <= y < L``.  This package provides:
+
+* :mod:`repro.mesh.geometry` -- coordinates and sub-mesh rectangles
+  (Definitions 1-4 of the paper).
+* :mod:`repro.mesh.grid` -- the mutable occupancy state of the mesh.
+* :mod:`repro.mesh.busylist` -- the list of allocated sub-meshes per job
+  (the data structure GABL is named after).
+* :mod:`repro.mesh.rectfind` -- free-rectangle search engines used by the
+  contiguous attempt of GABL and by the contiguous baselines.
+"""
+
+from repro.mesh.geometry import Coord, SubMesh
+from repro.mesh.grid import MeshGrid
+from repro.mesh.busylist import BusyList
+from repro.mesh.rectfind import (
+    find_suitable_submesh,
+    all_suitable_bases,
+    largest_free_rect,
+    largest_free_rect_bounded,
+)
+
+__all__ = [
+    "Coord",
+    "SubMesh",
+    "MeshGrid",
+    "BusyList",
+    "find_suitable_submesh",
+    "all_suitable_bases",
+    "largest_free_rect",
+    "largest_free_rect_bounded",
+]

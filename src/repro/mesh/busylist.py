@@ -1,0 +1,79 @@
+"""Busy list: the set of allocated sub-meshes, grouped by owning job.
+
+GABL (Greedy Available Busy List) is named after this structure: allocated
+sub-meshes are kept in a busy list, and "when a job departs the sub-meshes
+it is allocated are removed from the busy list and the number of free
+processors is updated" (paper section 3).  The paper's conclusion also
+remarks that GABL's busy list "is often small even when the size of the
+mesh scales up" -- the ablation bench ``bench_abl_busylist`` measures
+exactly that, so the structure tracks length statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.mesh.geometry import SubMesh
+
+
+class BusyList:
+    """Allocated sub-meshes grouped by job, with length statistics."""
+
+    __slots__ = ("_by_job", "_count", "_peak", "_length_sum", "_samples")
+
+    def __init__(self) -> None:
+        self._by_job: dict[int, list[SubMesh]] = {}
+        self._count = 0
+        self._peak = 0
+        self._length_sum = 0
+        self._samples = 0
+
+    def add(self, job_id: int, submesh: SubMesh) -> None:
+        """Record ``submesh`` as allocated to ``job_id``."""
+        self._by_job.setdefault(job_id, []).append(submesh)
+        self._count += 1
+        if self._count > self._peak:
+            self._peak = self._count
+
+    def remove_job(self, job_id: int) -> list[SubMesh]:
+        """Remove and return every sub-mesh allocated to ``job_id``."""
+        entries = self._by_job.pop(job_id, None)
+        if entries is None:
+            raise KeyError(f"job {job_id} has no busy-list entries")
+        self._count -= len(entries)
+        return entries
+
+    def job_submeshes(self, job_id: int) -> list[SubMesh]:
+        """Current sub-meshes of ``job_id`` (empty list if none)."""
+        return list(self._by_job.get(job_id, ()))
+
+    def sample_length(self) -> None:
+        """Record the current length for mean-length statistics."""
+        self._length_sum += self._count
+        self._samples += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[SubMesh]:
+        for entries in self._by_job.values():
+            yield from entries
+
+    @property
+    def job_count(self) -> int:
+        """Number of jobs currently holding allocations."""
+        return len(self._by_job)
+
+    @property
+    def peak_length(self) -> int:
+        """Largest number of sub-meshes simultaneously in the list."""
+        return self._peak
+
+    @property
+    def mean_length(self) -> float:
+        """Mean sampled length (see :meth:`sample_length`)."""
+        return self._length_sum / self._samples if self._samples else 0.0
+
+    def total_allocated(self) -> int:
+        """Total number of processors covered by the list."""
+        return sum(s.area for s in self)

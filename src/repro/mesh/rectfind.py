@@ -1,0 +1,179 @@
+"""Free-rectangle search engines over a :class:`~repro.mesh.grid.MeshGrid`.
+
+Three queries drive every allocator in this repository:
+
+* *suitability* -- does a free ``w x l`` sub-mesh exist, and where is the
+  first one in row-major base order?  (GABL's contiguous attempt and the
+  contiguous First-Fit baseline.)
+* *largest free rectangle* -- the biggest all-free sub-mesh, optionally with
+  side-length bounds and an area cap.  (GABL's greedy non-contiguous
+  decomposition: "the largest free sub-mesh that can fit inside S(a, b)".)
+* *all suitable bases* -- every admissible base node (Best-Fit baseline).
+
+The suitability query is vectorised with a summed-area table (O(W*L) NumPy
+work); the largest-rectangle query uses the classic monotone-stack
+histogram sweep, which enumerates every *maximal* free rectangle, so a
+side/area-bounded optimum can be carved out of one of them (any free
+rectangle is contained in a maximal free rectangle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.geometry import Coord, SubMesh
+from repro.mesh.grid import MeshGrid
+
+
+def _window_counts(free: np.ndarray, w: int, l: int) -> np.ndarray:
+    """Number of free processors in every ``w x l`` window.
+
+    Returns an array of shape ``(L - l + 1, W - w + 1)`` whose ``[y, x]``
+    entry counts free cells in the window based at ``(x, y)``.
+    """
+    sat = np.zeros((free.shape[0] + 1, free.shape[1] + 1), dtype=np.int32)
+    np.cumsum(np.cumsum(free, axis=0), axis=1, out=sat[1:, 1:])
+    return sat[l:, w:] - sat[:-l, w:] - sat[l:, :-w] + sat[:-l, :-w]
+
+
+def find_suitable_submesh(grid: MeshGrid, w: int, l: int) -> SubMesh | None:
+    """First (row-major base order) free ``w x l`` sub-mesh, or ``None``.
+
+    Row-major means scanning bases ``(0,0), (1,0), ..., (W-w,0), (0,1), ...``
+    exactly like the free-list scans in the literature [2, 19].
+    """
+    if w <= 0 or l <= 0:
+        raise ValueError(f"request sides must be positive, got {w}x{l}")
+    if w > grid.width or l > grid.length:
+        return None
+    counts = _window_counts(grid.free_mask(), w, l)
+    hits = np.nonzero(counts == w * l)
+    if hits[0].size == 0:
+        return None
+    y, x = int(hits[0][0]), int(hits[1][0])
+    return SubMesh.from_base(x, y, w, l)
+
+
+def all_suitable_bases(grid: MeshGrid, w: int, l: int) -> list[Coord]:
+    """Every base node of a free ``w x l`` sub-mesh, row-major order."""
+    if w <= 0 or l <= 0:
+        raise ValueError(f"request sides must be positive, got {w}x{l}")
+    if w > grid.width or l > grid.length:
+        return []
+    counts = _window_counts(grid.free_mask(), w, l)
+    ys, xs = np.nonzero(counts == w * l)
+    return [Coord(int(x), int(y)) for y, x in zip(ys, xs)]
+
+
+@dataclass(frozen=True, slots=True)
+class _Candidate:
+    """A bounded sub-rectangle candidate with a deterministic sort key."""
+
+    area: int
+    y: int
+    x: int
+    w: int
+    l: int
+
+    def better_than(self, other: "_Candidate | None") -> bool:
+        if other is None:
+            return True
+        # Larger area wins; ties broken towards the lowest base (row-major),
+        # then the wider shape, purely so results are reproducible.
+        return (self.area, -self.y, -self.x, self.w) > (
+            other.area,
+            -other.y,
+            -other.x,
+            other.w,
+        )
+
+
+def _best_bounded_subrect(
+    span_w: int, span_l: int, max_w: int, max_l: int, max_area: int
+) -> tuple[int, int] | None:
+    """Largest ``w x l`` with ``w <= min(span_w, max_w)``,
+    ``l <= min(span_l, max_l)`` and ``w*l <= max_area``; ``None`` if no
+    positive-area shape fits."""
+    cap_w = min(span_w, max_w)
+    cap_l = min(span_l, max_l)
+    if cap_w <= 0 or cap_l <= 0 or max_area <= 0:
+        return None
+    best: tuple[int, int] | None = None
+    best_area = 0
+    ceiling = min(cap_w * cap_l, max_area)
+    for w in range(cap_w, 0, -1):
+        l = min(cap_l, max_area // w)
+        if l <= 0:
+            continue
+        if w * l > best_area:
+            best_area = w * l
+            best = (w, l)
+            if best_area == ceiling:
+                break  # cannot do better
+    return best
+
+
+def largest_free_rect_bounded(
+    grid: MeshGrid,
+    max_w: int | None = None,
+    max_l: int | None = None,
+    max_area: int | None = None,
+) -> SubMesh | None:
+    """Largest-area free sub-mesh with bounded sides and area.
+
+    Enumerates every maximal free rectangle with a monotone-stack histogram
+    sweep and carves the best admissible sub-rectangle out of each; the
+    chosen sub-rectangle is anchored at the bottom-left corner of its
+    maximal host so results are deterministic.
+
+    Returns ``None`` when no admissible rectangle exists (mesh full or a
+    bound is non-positive).
+    """
+    W, L = grid.width, grid.length
+    max_w = W if max_w is None else min(max_w, W)
+    max_l = L if max_l is None else min(max_l, L)
+    max_area = W * L if max_area is None else max_area
+    if max_w <= 0 or max_l <= 0 or max_area <= 0:
+        return None
+
+    free = grid.free_mask()
+    heights = np.zeros(W, dtype=np.int64)
+    best: _Candidate | None = None
+
+    for y in range(L):
+        # running histogram: consecutive free cells in each column ending
+        # at row y (vectorised update)
+        heights = (heights + 1) * free[y]
+        hist = heights.tolist()
+        hist.append(0)  # sentinel flushes the stack
+        stack: list[tuple[int, int]] = []  # (leftmost column, height)
+        for x, h in enumerate(hist):
+            start = x
+            while stack and stack[-1][1] > h:
+                pos, height = stack.pop()
+                # maximal-width rectangle of this height ends at column x-1
+                shape = _best_bounded_subrect(x - pos, height, max_w, max_l, max_area)
+                if shape is not None:
+                    w, l = shape
+                    cand = _Candidate(w * l, y - height + 1, pos, w, l)
+                    if cand.better_than(best):
+                        best = cand
+                start = pos
+            if h > 0 and (not stack or stack[-1][1] < h):
+                stack.append((start, h))
+
+    if best is None:
+        return None
+    return SubMesh.from_base(best.x, best.y, best.w, best.l)
+
+
+def largest_free_rect(grid: MeshGrid) -> SubMesh | None:
+    """Largest-area free sub-mesh with no bounds (``None`` if mesh full)."""
+    return largest_free_rect_bounded(grid)
+
+
+def free_submesh_exists(grid: MeshGrid, w: int, l: int) -> bool:
+    """Whether any free ``w x l`` sub-mesh exists (no base reported)."""
+    return find_suitable_submesh(grid, w, l) is not None

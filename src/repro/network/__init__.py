@@ -1,0 +1,23 @@
+"""Wormhole-switched 2D-mesh interconnect simulator.
+
+Implements the paper's network model: XY dimension-ordered routing,
+``t_s``-cycle router decisions, one flit per time unit per link,
+``P_len``-flit packets, per-channel FIFO arbitration, and all-to-all
+job traffic (section 5).
+"""
+
+from repro.network.topology import MeshTopology, Direction
+from repro.network.routing import xy_route, xy_route_nodes
+from repro.network.wormhole import WormholeNetwork, PathTiming
+from repro.network.traffic import AllToAllTraffic, destination_schedule
+
+__all__ = [
+    "MeshTopology",
+    "Direction",
+    "xy_route",
+    "xy_route_nodes",
+    "WormholeNetwork",
+    "PathTiming",
+    "AllToAllTraffic",
+    "destination_schedule",
+]

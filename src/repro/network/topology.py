@@ -1,0 +1,116 @@
+"""Physical structure of the wormhole-switched 2D mesh.
+
+Every processor is connected to its neighbours by bidirectional links
+(paper Fig. 1), modelled as two opposed unidirectional *channels*.  Each
+node additionally owns an *injection* channel (processor into router) and
+an *ejection* channel (router into processor); packets from one source
+serialise at its injection channel exactly as in ProcSimity.
+
+Channels are identified by dense integer indices (``node_id * 6 + dir``)
+so the simulator can keep per-channel state in flat arrays.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.mesh.geometry import Coord
+
+
+class Direction(enum.IntEnum):
+    """Channel classes per node."""
+
+    INJ = 0  #: processor -> router
+    EJ = 1  #: router -> processor
+    EAST = 2  #: to (x+1, y)
+    WEST = 3  #: to (x-1, y)
+    NORTH = 4  #: to (x, y+1)
+    SOUTH = 5  #: to (x, y-1)
+
+
+_CHANNELS_PER_NODE = len(Direction)
+
+
+class MeshTopology:
+    """Coordinate/node/channel arithmetic for a ``W x L`` mesh or torus.
+
+    With ``wrap=True`` the boundary links wrap around (a 2D torus) --
+    the paper's stated future-work direction ("it would be interesting
+    to assess the performance of the allocation strategies on other
+    common multicomputer networks, such as torus networks").  The
+    channel index space is identical; wrapping only changes which links
+    exist and how routes are computed.
+    """
+
+    __slots__ = ("width", "length", "wrap")
+
+    def __init__(self, width: int, length: int, wrap: bool = False) -> None:
+        if width <= 0 or length <= 0:
+            raise ValueError(f"mesh dimensions must be positive, got {width}x{length}")
+        self.width = width
+        self.length = length
+        self.wrap = wrap
+
+    # ------------------------------------------------------------ nodes
+    @property
+    def node_count(self) -> int:
+        return self.width * self.length
+
+    @property
+    def channel_count(self) -> int:
+        return self.node_count * _CHANNELS_PER_NODE
+
+    def node_id(self, c: Coord) -> int:
+        """Row-major linear node id."""
+        return c.y * self.width + c.x
+
+    def coord_of(self, node_id: int) -> Coord:
+        return Coord(node_id % self.width, node_id // self.width)
+
+    # --------------------------------------------------------- channels
+    def channel(self, node_id: int, direction: Direction) -> int:
+        """Dense channel index for ``direction`` out of ``node_id``."""
+        return node_id * _CHANNELS_PER_NODE + direction
+
+    def channel_owner(self, channel: int) -> tuple[int, Direction]:
+        """Inverse of :meth:`channel`."""
+        return channel // _CHANNELS_PER_NODE, Direction(channel % _CHANNELS_PER_NODE)
+
+    def link_exists(self, node_id: int, direction: Direction) -> bool:
+        """Whether the directional link exists (boundaries wrap on a torus)."""
+        if self.wrap:
+            return True
+        c = self.coord_of(node_id)
+        if direction == Direction.EAST:
+            return c.x + 1 < self.width
+        if direction == Direction.WEST:
+            return c.x - 1 >= 0
+        if direction == Direction.NORTH:
+            return c.y + 1 < self.length
+        if direction == Direction.SOUTH:
+            return c.y - 1 >= 0
+        return True  # INJ/EJ always exist
+
+    def neighbour(self, node_id: int, direction: Direction) -> int:
+        """Node on the other end of a directional link."""
+        if not self.link_exists(node_id, direction):
+            raise ValueError(f"no {direction.name} link at node {node_id}")
+        c = self.coord_of(node_id)
+        if direction == Direction.EAST:
+            return self.node_id(Coord((c.x + 1) % self.width, c.y))
+        if direction == Direction.WEST:
+            return self.node_id(Coord((c.x - 1) % self.width, c.y))
+        if direction == Direction.NORTH:
+            return self.node_id(Coord(c.x, (c.y + 1) % self.length))
+        if direction == Direction.SOUTH:
+            return self.node_id(Coord(c.x, (c.y - 1) % self.length))
+        raise ValueError(f"{direction.name} is not a link direction")
+
+    def distance(self, src: Coord, dst: Coord) -> int:
+        """Minimal hop count between two nodes on this topology."""
+        dx = abs(src.x - dst.x)
+        dy = abs(src.y - dst.y)
+        if self.wrap:
+            dx = min(dx, self.width - dx)
+            dy = min(dy, self.length - dy)
+        return dx + dy

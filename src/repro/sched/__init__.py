@@ -1,0 +1,17 @@
+"""Job scheduling strategies (paper section 4): FCFS and SSD."""
+
+from repro.sched.policies import (
+    FCFSScheduler,
+    SSDScheduler,
+    Scheduler,
+    make_scheduler,
+    SCHEDULERS,
+)
+
+__all__ = [
+    "Scheduler",
+    "FCFSScheduler",
+    "SSDScheduler",
+    "make_scheduler",
+    "SCHEDULERS",
+]

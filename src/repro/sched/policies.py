@@ -1,0 +1,162 @@
+"""Job scheduling strategies (paper section 4).
+
+* **FCFS** -- the allocation request that arrived first is considered
+  first; "allocation attempts stop when they fail for the current FIFO
+  queue head" (head-blocking).
+* **SSD** -- Shortest-Service-Demand (Krueger et al. [10]): the queued job
+  with the smallest service demand is considered first, with the same
+  head-blocking semantics.  Execution times are simulator outputs, so the
+  demand key is the job's *communication demand* known at arrival
+  (stochastic jobs: the drawn message count; trace jobs: the recorded
+  runtime -- the two are monotonically related, see DESIGN.md §2.4).
+
+Both schedulers expose a ``window`` parameter: the number of queue heads
+the dispatcher may try before giving up.  ``window=1`` is the paper's
+head-blocking behaviour (the default); larger windows give a bypass /
+backfilling-flavoured extension used in the ablations.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.job import Job
+
+
+class Scheduler(abc.ABC):
+    """Priority queue of jobs waiting for allocation."""
+
+    name: str = "abstract"
+
+    def __init__(self, window: int = 1) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._seq = 0
+
+    @abc.abstractmethod
+    def add(self, job: "Job") -> None:
+        """Enqueue an arriving job."""
+
+    @abc.abstractmethod
+    def peek(self, k: int = 1) -> list["Job"]:
+        """Up to ``k`` highest-priority queued jobs, best first."""
+
+    @abc.abstractmethod
+    def remove(self, job: "Job") -> None:
+        """Remove a job that was just allocated."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of queued jobs."""
+
+    def reset(self) -> None:
+        """Drop all queued jobs (between replications)."""
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+
+class FCFSScheduler(Scheduler):
+    """First-Come-First-Served queue."""
+
+    name = "FCFS"
+
+    def __init__(self, window: int = 1) -> None:
+        super().__init__(window)
+        self._queue: deque["Job"] = deque()
+
+    def add(self, job: "Job") -> None:
+        self._queue.append(job)
+
+    def peek(self, k: int = 1) -> list["Job"]:
+        if k == 1:
+            return [self._queue[0]] if self._queue else []
+        return [self._queue[i] for i in range(min(k, len(self._queue)))]
+
+    def remove(self, job: "Job") -> None:
+        if self._queue and self._queue[0] is job:
+            self._queue.popleft()
+        else:
+            self._queue.remove(job)  # window > 1 bypass case
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def reset(self) -> None:
+        super().reset()
+        self._queue.clear()
+
+
+class SSDScheduler(Scheduler):
+    """Shortest-Service-Demand queue (ties broken by arrival order)."""
+
+    name = "SSD"
+
+    def __init__(self, window: int = 1) -> None:
+        super().__init__(window)
+        self._heap: list[tuple[float, int, "Job"]] = []
+        self._removed: set[int] = set()
+        self._size = 0
+
+    def add(self, job: "Job") -> None:
+        heapq.heappush(
+            self._heap, (job.service_demand, self._next_seq(), job)
+        )
+        self._size += 1
+
+    def _compact(self) -> None:
+        """Drop lazily-removed entries from the heap top."""
+        while self._heap and id(self._heap[0][2]) in self._removed:
+            _, _, job = heapq.heappop(self._heap)
+            self._removed.discard(id(job))
+
+    def peek(self, k: int = 1) -> list["Job"]:
+        self._compact()
+        if k == 1:
+            return [self._heap[0][2]] if self._heap else []
+        live = [
+            entry for entry in self._heap if id(entry[2]) not in self._removed
+        ]
+        return [job for _, _, job in heapq.nsmallest(k, live)]
+
+    def remove(self, job: "Job") -> None:
+        self._compact()
+        if self._heap and self._heap[0][2] is job:
+            heapq.heappop(self._heap)
+        else:
+            self._removed.add(id(job))
+        self._size -= 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    def reset(self) -> None:
+        super().reset()
+        self._heap.clear()
+        self._removed.clear()
+        self._size = 0
+
+
+#: registry used by the experiment runner
+SCHEDULERS: dict[str, type[Scheduler]] = {
+    "FCFS": FCFSScheduler,
+    "SSD": SSDScheduler,
+}
+
+
+def make_scheduler(spec: str, window: int = 1) -> Scheduler:
+    """Build a scheduler from its paper-style name (``"FCFS"``/``"SSD"``)."""
+    try:
+        cls = SCHEDULERS[spec]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler spec {spec!r}; expected one of {sorted(SCHEDULERS)}"
+        ) from None
+    return cls(window=window)

@@ -1,0 +1,20 @@
+"""Output analysis: confidence intervals and replication control.
+
+The paper: "Simulation results are averaged over enough independent runs
+so that the confidence level is 95% and the relative errors do not exceed
+5%."  :func:`~repro.stats.replication.run_replications` implements exactly
+that stopping rule.
+"""
+
+from repro.stats.welford import Welford
+from repro.stats.ci import mean_confidence_interval, relative_error
+from repro.stats.replication import ReplicatedMetric, ReplicationResult, run_replications
+
+__all__ = [
+    "Welford",
+    "mean_confidence_interval",
+    "relative_error",
+    "ReplicatedMetric",
+    "ReplicationResult",
+    "run_replications",
+]

@@ -1,0 +1,96 @@
+"""Independent-replication controller with the paper's stopping rule.
+
+"Simulation results are averaged over enough independent runs so that the
+confidence level is 95% and the relative errors do not exceed 5%": run
+replications with distinct seeds until every watched metric's 95% CI
+half-width is within 5% of its mean (or a replication cap is reached).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.stats.ci import mean_confidence_interval, relative_error
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicatedMetric:
+    """One metric aggregated over replications."""
+
+    name: str
+    mean: float
+    half_width: float
+    relative_error: float
+    values: tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicationResult:
+    """All watched metrics plus convergence information."""
+
+    metrics: Mapping[str, ReplicatedMetric]
+    replications: int
+    converged: bool
+
+    def __getitem__(self, name: str) -> ReplicatedMetric:
+        return self.metrics[name]
+
+    def mean(self, name: str) -> float:
+        return self.metrics[name].mean
+
+
+def run_replications(
+    run_once: Callable[[int], Mapping[str, float]],
+    metric_names: Sequence[str],
+    min_replications: int = 3,
+    max_replications: int = 20,
+    confidence: float = 0.95,
+    max_relative_error: float = 0.05,
+    base_seed: int = 0,
+) -> ReplicationResult:
+    """Run ``run_once(seed)`` until all metrics meet the stopping rule.
+
+    ``run_once`` maps a seed to a metric dict; seeds are
+    ``base_seed + replication_index``.  ``min_replications=1`` disables
+    the rule entirely (single deterministic runs, e.g. trace replay).
+    """
+    if min_replications < 1:
+        raise ValueError("min_replications must be >= 1")
+    if max_replications < min_replications:
+        raise ValueError("max_replications must be >= min_replications")
+    samples: dict[str, list[float]] = {m: [] for m in metric_names}
+    rep = 0
+    converged = False
+    while rep < max_replications:
+        result = run_once(base_seed + rep)
+        rep += 1
+        for m in metric_names:
+            samples[m].append(float(result[m]))
+        if rep < min_replications:
+            continue
+        if min_replications == 1 and max_replications == 1:
+            converged = True
+            break
+        worst = 0.0
+        for m in metric_names:
+            mean, hw = mean_confidence_interval(samples[m], confidence)
+            worst = max(worst, relative_error(mean, hw))
+        if worst <= max_relative_error:
+            converged = True
+            break
+    metrics = {}
+    for m in metric_names:
+        mean, hw = mean_confidence_interval(samples[m], confidence)
+        metrics[m] = ReplicatedMetric(
+            name=m,
+            mean=mean,
+            half_width=hw,
+            relative_error=relative_error(mean, hw),
+            values=tuple(samples[m]),
+        )
+    return ReplicationResult(metrics=metrics, replications=rep, converged=converged)

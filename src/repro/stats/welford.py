@@ -1,0 +1,56 @@
+"""Welford's streaming mean/variance accumulator.
+
+Numerically stable single-pass moments; used by the replication
+controller and by long-running in-simulation samplers where storing every
+observation would be wasteful.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Welford:
+    """Streaming count / mean / variance."""
+
+    __slots__ = ("n", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, x: float) -> None:
+        """Fold one observation into the moments."""
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (x - self.mean)
+
+    def merge(self, other: "Welford") -> None:
+        """Combine another accumulator into this one (Chan's method)."""
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.n, self.mean, self._m2 = other.n, other.mean, other._m2
+            return
+        delta = other.mean - self.mean
+        total = self.n + other.n
+        self._m2 += other._m2 + delta * delta * self.n * other.n / total
+        self.mean += delta * other.n / total
+        self.n = total
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0 for fewer than two samples)."""
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        return self.std / math.sqrt(self.n) if self.n > 0 else 0.0

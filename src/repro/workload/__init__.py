@@ -1,0 +1,29 @@
+"""Workload models: stochastic streams and real-trace replay.
+
+The paper evaluates every strategy under (a) a stochastic workload with
+exponential inter-arrival times and uniform / exponential side-length
+distributions, and (b) a real trace of 10,658 production jobs from the
+352-node partition of the SDSC Intel Paragon.  This package provides both,
+plus a Standard Workload Format (SWF) parser so an actual archive trace
+can be substituted for the calibrated synthetic one (DESIGN.md
+section 2.3).
+"""
+
+from repro.workload.base import Workload
+from repro.workload.stochastic import StochasticWorkload
+from repro.workload.trace import TraceJob, TraceStats, TraceWorkload, trace_stats
+from repro.workload.sdsc import synthesize_sdsc_trace, SDSC_PUBLISHED
+from repro.workload.swf import load_swf, parse_swf_line
+
+__all__ = [
+    "Workload",
+    "StochasticWorkload",
+    "TraceJob",
+    "TraceStats",
+    "TraceWorkload",
+    "trace_stats",
+    "synthesize_sdsc_trace",
+    "SDSC_PUBLISHED",
+    "load_swf",
+    "parse_swf_line",
+]

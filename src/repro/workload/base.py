@@ -1,0 +1,36 @@
+"""Workload interface: a reproducible stream of arriving jobs."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from repro.core.config import SimConfig
+from repro.core.job import Job
+
+
+class Workload(abc.ABC):
+    """A source of :class:`~repro.core.job.Job` objects.
+
+    ``jobs()`` yields jobs in non-decreasing arrival order; the stream may
+    be infinite (stochastic) or finite (trace replay).  The same
+    ``(workload, seed)`` pair always produces the same stream.
+    """
+
+    #: human-readable name for reports
+    name: str = "abstract"
+
+    def __init__(self, config: SimConfig) -> None:
+        self.config = config
+
+    @abc.abstractmethod
+    def jobs(self, seed: int) -> Iterator[Job]:
+        """Yield the job stream for one replication."""
+
+    @staticmethod
+    def _check_monotone(prev: float, arrival: float) -> float:
+        if arrival < prev:
+            raise AssertionError(
+                f"workload produced decreasing arrival times ({arrival} < {prev})"
+            )
+        return arrival

@@ -1,0 +1,67 @@
+"""Stochastic workload (paper section 5, workload 1).
+
+* inter-arrival times: exponential with mean ``1 / load`` (the paper's
+  *system load* is "the inverse of the mean inter-arrival time of jobs");
+* request side lengths: either uniform over ``[1, W] x [1, L]`` (widths
+  and lengths drawn independently) or exponential with a mean of half the
+  corresponding mesh side, rounded and clipped into range;
+* communication demand: ``K_j = max(1, round(Exp(num_mes)))`` messages per
+  processor (DESIGN.md section 2.2) -- execution times are *not* inputs;
+  the simulator derives them from contention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.config import SimConfig
+from repro.core.job import Job
+from repro.mesh.geometry import clip_side
+from repro.workload.base import Workload
+
+SIDE_DISTRIBUTIONS = ("uniform", "exponential")
+
+
+class StochasticWorkload(Workload):
+    """Poisson arrivals with uniform or exponential request sides."""
+
+    def __init__(
+        self, config: SimConfig, load: float, sides: str = "uniform"
+    ) -> None:
+        super().__init__(config)
+        if load <= 0:
+            raise ValueError(f"load must be positive, got {load}")
+        if sides not in SIDE_DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown side distribution {sides!r}; choose from {SIDE_DISTRIBUTIONS}"
+            )
+        self.load = load
+        self.sides = sides
+        self.name = f"stochastic-{sides}"
+
+    def jobs(self, seed: int) -> Iterator[Job]:
+        rng = np.random.default_rng(seed)
+        cfg = self.config
+        mean_interarrival = 1.0 / self.load
+        t = 0.0
+        job_id = 0
+        while True:
+            t += rng.exponential(mean_interarrival)
+            job_id += 1
+            if self.sides == "uniform":
+                w = int(rng.integers(1, cfg.width + 1))
+                l = int(rng.integers(1, cfg.length + 1))
+            else:
+                w = clip_side(rng.exponential(cfg.width / 2.0), cfg.width)
+                l = clip_side(rng.exponential(cfg.length / 2.0), cfg.length)
+            k = max(1, int(round(rng.exponential(cfg.num_mes))))
+            k = min(k, cfg.max_messages)
+            yield Job(
+                job_id=job_id,
+                arrival_time=t,
+                width=w,
+                length=l,
+                messages=k,
+            )

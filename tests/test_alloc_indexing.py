@@ -1,0 +1,84 @@
+"""Unit tests for the Paging index schemes (repro.alloc.indexing)."""
+
+import pytest
+
+from repro.alloc.indexing import (
+    SCHEMES,
+    row_major,
+    scheme,
+    shuffled_row_major,
+    shuffled_snake,
+    snake,
+)
+from repro.mesh.geometry import Coord
+
+
+ALL_SCHEMES = sorted(SCHEMES)
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    @pytest.mark.parametrize("pw,pl", [(1, 1), (4, 4), (5, 3), (16, 22), (7, 1)])
+    def test_is_permutation(self, name, pw, pl):
+        order = scheme(name)(pw, pl)
+        assert len(order) == pw * pl
+        assert len(set(order)) == pw * pl
+        assert all(0 <= c.x < pw and 0 <= c.y < pl for c in order)
+
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_starts_at_origin(self, name):
+        assert scheme(name)(4, 4)[0] == Coord(0, 0)
+
+
+class TestRowMajor:
+    def test_order_2x2(self):
+        assert row_major(2, 2) == [
+            Coord(0, 0), Coord(1, 0), Coord(0, 1), Coord(1, 1)
+        ]
+
+    def test_y_outer(self):
+        order = row_major(3, 2)
+        assert order[:3] == [Coord(0, 0), Coord(1, 0), Coord(2, 0)]
+
+
+class TestSnake:
+    def test_reverses_odd_rows(self):
+        order = snake(3, 2)
+        assert order == [
+            Coord(0, 0), Coord(1, 0), Coord(2, 0),
+            Coord(2, 1), Coord(1, 1), Coord(0, 1),
+        ]
+
+    def test_adjacent_steps(self):
+        """Snake order always moves to a grid-adjacent page."""
+        order = snake(5, 4)
+        for a, b in zip(order, order[1:]):
+            assert abs(a.x - b.x) + abs(a.y - b.y) == 1
+
+
+class TestShuffled:
+    def test_shuffled_row_major_4x4_quadrants(self):
+        """Z-order visits the lower-left 2x2 quadrant first."""
+        order = shuffled_row_major(4, 4)
+        first_quadrant = set(order[:4])
+        assert first_quadrant == {
+            Coord(0, 0), Coord(1, 0), Coord(0, 1), Coord(1, 1)
+        }
+
+    def test_shuffled_differs_from_plain(self):
+        assert shuffled_row_major(4, 4) != row_major(4, 4)
+        assert shuffled_snake(4, 4) != snake(4, 4)
+
+    def test_shuffled_snake_permutation_nonsquare(self):
+        order = shuffled_snake(6, 3)
+        assert len(set(order)) == 18
+
+
+class TestLookup:
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError, match="unknown indexing scheme"):
+            scheme("diagonal")
+
+    def test_known_schemes(self):
+        for name in ALL_SCHEMES:
+            assert callable(scheme(name))

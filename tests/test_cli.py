@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI runs away from the repo-level result cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    # reset the module-level cache singleton between tests
+    import repro.experiments.runner as runner
+    monkeypatch.setattr(runner, "_GLOBAL_CACHE", None)
+
+
+def test_point_command(capsys):
+    rc = main([
+        "point", "--workload", "uniform", "--load", "0.02",
+        "--alloc", "GABL", "--sched", "FCFS", "--scale", "smoke",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "GABL(FCFS)" in out
+    assert "turnaround=" in out
+
+
+def test_point_requires_args(capsys):
+    rc = main(["point", "--scale", "smoke"])
+    assert rc == 2
+    assert "requires" in capsys.readouterr().err
+
+
+def test_unknown_target(capsys):
+    rc = main(["fig99", "--scale", "smoke"])
+    assert rc == 2
+    assert "unknown target" in capsys.readouterr().err
+
+
+def test_figure_command_smoke(capsys, monkeypatch):
+    # shrink the work: figure on the paper mesh is slow, so reuse the
+    # point cache across series by running the cheapest figure
+    rc = main(["fig9", "--scale", "smoke"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "FIG9" in out
+    assert "GABL(SSD)" in out
+
+
+def test_swf_option(tmp_path, capsys):
+    swf = tmp_path / "t.swf"
+    lines = [
+        f"{i} {i * 50} 0 60 {(i % 5) + 1} -1 -1 {(i % 5) + 1} "
+        "-1 -1 1 1 1 1 -1 -1 -1 -1"
+        for i in range(1, 41)
+    ]
+    swf.write_text("\n".join(lines))
+    rc = main([
+        "point", "--workload", "real", "--load", "0.05",
+        "--swf", str(swf), "--scale", "smoke",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "loaded 40 jobs" in out

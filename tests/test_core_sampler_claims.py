@@ -1,0 +1,157 @@
+"""Tests for the state sampler and the paper-claim verification module."""
+
+import pytest
+
+from repro.alloc import make_allocator
+from repro.core.config import SimConfig
+from repro.core.sampler import Sample, StateSampler
+from repro.core.simulator import Simulator
+from repro.experiments.claims import (
+    CHECKS,
+    ClaimReport,
+    ClaimResult,
+    check_c2_gabl_best,
+    check_c4_ssd_beats_fcfs,
+    check_c5_utilization,
+)
+from repro.experiments.figures import FIGURES
+from repro.experiments.runner import FigureResult
+from repro.sched import make_scheduler
+from repro.workload.stochastic import StochasticWorkload
+
+
+def make_sim(load=0.05, jobs=40):
+    cfg = SimConfig(width=8, length=8, jobs=jobs, seed=9)
+    return Simulator(
+        cfg,
+        make_allocator("GABL", 8, 8),
+        make_scheduler("FCFS"),
+        StochasticWorkload(cfg, load=load),
+    )
+
+
+class TestSampler:
+    def test_collects_samples(self):
+        sim = make_sim()
+        sampler = StateSampler(sim, period=50.0)
+        sampler.start()
+        sim.run()
+        assert len(sampler.samples) > 5
+        times = [s.time for s in sampler.samples]
+        assert times == sorted(times)
+        # period spacing
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g == pytest.approx(50.0) for g in gaps)
+
+    def test_sample_values_sane(self):
+        sim = make_sim()
+        sampler = StateSampler(sim, period=25.0)
+        sampler.start()
+        sim.run()
+        for s in sampler.samples:
+            assert 0 <= s.busy_processors <= 64
+            assert s.queue_length >= 0
+            assert s.running_jobs >= 0
+            assert 0.0 <= s.utilization(64) <= 1.0
+
+    def test_saturation_fills_queue_early(self):
+        """The paper's Figs. 8-10 premise: under heavy load the waiting
+        queue fills very early in the run."""
+        sim = make_sim(load=0.5, jobs=60)
+        sampler = StateSampler(sim, period=20.0)
+        sampler.start()
+        result = sim.run()
+        t_queue = sampler.time_to_queue(10)
+        assert t_queue is not None
+        assert t_queue < result.sim_time * 0.25
+        assert sampler.plateau_utilization() > 0.5
+
+    def test_series_helpers(self):
+        sim = make_sim()
+        sampler = StateSampler(sim, period=40.0)
+        sampler.start()
+        sim.run()
+        util = sampler.utilization_series()
+        queue = sampler.queue_series()
+        assert len(util) == len(queue) == len(sampler.samples)
+        assert all(0.0 <= u <= 1.0 for _, u in util)
+
+    def test_start_idempotent(self):
+        sim = make_sim()
+        sampler = StateSampler(sim, period=30.0)
+        sampler.start()
+        sampler.start()
+        sim.run()
+        times = [s.time for s in sampler.samples]
+        assert len(times) == len(set(times))  # no duplicate ticks
+
+    def test_bad_period(self):
+        with pytest.raises(ValueError):
+            StateSampler(make_sim(), period=0.0)
+
+
+def _fake_figs(gabl=10.0, paging=15.0, util=0.8):
+    """Synthetic figure set embodying the paper's findings: GABL wins
+    everywhere, SSD beats FCFS, and MBS sits above Paging(0) on the real
+    workload but below it on the stochastic ones (the C3 exception)."""
+    figs = {}
+    for fig_id, spec in FIGURES.items():
+        if spec.saturation:
+            series = {
+                f"{a}({s})": (util,)
+                for a in ("GABL", "Paging(0)", "MBS")
+                for s in ("FCFS", "SSD")
+            }
+            loads = (0.1,)
+        else:
+            mbs = paging * (1.2 if spec.workload == "real" else 0.85)
+            series = {}
+            for s, scale in (("FCFS", 1.0), ("SSD", 0.6)):
+                series[f"GABL({s})"] = (gabl * scale, gabl * scale * 2)
+                series[f"Paging(0)({s})"] = (paging * scale, paging * scale * 2)
+                series[f"MBS({s})"] = (mbs * scale, mbs * scale * 2)
+            loads = (0.01, 0.02)
+        figs[fig_id] = FigureResult(spec=spec, loads=loads, series=series)
+    return figs
+
+
+class TestClaimChecks:
+    def test_all_checks_pass_on_ideal_data(self):
+        figs = _fake_figs()
+        for check in CHECKS:
+            result = check(figs)
+            assert isinstance(result, ClaimResult)
+            assert result.passed, result
+
+    def test_c2_fails_when_gabl_loses(self):
+        figs = _fake_figs(gabl=30.0, paging=15.0)
+        assert not check_c2_gabl_best(figs).passed
+
+    def test_c4_fails_when_ssd_worse(self):
+        figs = _fake_figs()
+        spec = FIGURES["fig3"]
+        bad_series = dict(figs["fig3"].series)
+        bad_series["GABL(SSD)"] = (1000.0, 2000.0)
+        figs["fig3"] = FigureResult(
+            spec=spec, loads=figs["fig3"].loads, series=bad_series
+        )
+        assert not check_c4_ssd_beats_fcfs(figs).passed
+
+    def test_c5_fails_out_of_band(self):
+        figs = _fake_figs(util=0.3)
+        assert not check_c5_utilization(figs).passed
+
+    def test_report_formatting(self):
+        figs = _fake_figs()
+        results = tuple(check(figs) for check in CHECKS)
+        report = ClaimReport(results=results, scale="unit")
+        text = report.format()
+        assert "ALL CLAIMS HOLD" in text
+        assert report.passed
+        assert text.count("[PASS]") == len(CHECKS)
+
+    def test_report_failure_verdict(self):
+        bad = ClaimResult("CX", "demo", False, "nope")
+        report = ClaimReport(results=(bad,), scale="unit")
+        assert "SOME CLAIMS FAILED" in report.format()
+        assert not report.passed

@@ -1,0 +1,79 @@
+"""Unit tests for repro.mesh.busylist."""
+
+import pytest
+
+from repro.mesh.busylist import BusyList
+from repro.mesh.geometry import SubMesh
+
+
+@pytest.fixture
+def bl() -> BusyList:
+    return BusyList()
+
+
+def test_empty(bl):
+    assert len(bl) == 0
+    assert bl.job_count == 0
+    assert bl.peak_length == 0
+    assert bl.total_allocated() == 0
+
+
+def test_add_and_len(bl):
+    bl.add(1, SubMesh(0, 0, 1, 1))
+    bl.add(1, SubMesh(2, 2, 2, 2))
+    bl.add(2, SubMesh(3, 3, 4, 4))
+    assert len(bl) == 3
+    assert bl.job_count == 2
+    assert bl.total_allocated() == 4 + 1 + 4
+
+
+def test_job_submeshes(bl):
+    a, b = SubMesh(0, 0, 0, 0), SubMesh(1, 1, 1, 1)
+    bl.add(5, a)
+    bl.add(5, b)
+    assert bl.job_submeshes(5) == [a, b]
+    assert bl.job_submeshes(6) == []
+
+
+def test_remove_job(bl):
+    a = SubMesh(0, 0, 1, 1)
+    bl.add(7, a)
+    bl.add(8, SubMesh(3, 3, 3, 3))
+    removed = bl.remove_job(7)
+    assert removed == [a]
+    assert len(bl) == 1
+    assert bl.job_count == 1
+
+
+def test_remove_unknown_job(bl):
+    with pytest.raises(KeyError):
+        bl.remove_job(99)
+
+
+def test_peak_tracking(bl):
+    for i in range(5):
+        bl.add(1, SubMesh(i, i, i, i))
+    bl.remove_job(1)
+    assert len(bl) == 0
+    assert bl.peak_length == 5
+
+
+def test_mean_length_sampling(bl):
+    bl.sample_length()  # 0
+    bl.add(1, SubMesh(0, 0, 0, 0))
+    bl.sample_length()  # 1
+    bl.add(2, SubMesh(1, 1, 1, 1))
+    bl.sample_length()  # 2
+    assert bl.mean_length == pytest.approx(1.0)
+
+
+def test_mean_length_no_samples(bl):
+    assert bl.mean_length == 0.0
+
+
+def test_iteration(bl):
+    subs = [SubMesh(0, 0, 0, 0), SubMesh(1, 1, 1, 1), SubMesh(2, 2, 2, 2)]
+    bl.add(1, subs[0])
+    bl.add(2, subs[1])
+    bl.add(1, subs[2])
+    assert sorted(iter(bl), key=lambda s: s.x1) == subs

@@ -1,0 +1,173 @@
+"""Unit tests for repro.mesh.geometry (paper section 2 definitions)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mesh.geometry import Coord, SubMesh, clip_side, shape_for_size
+
+
+class TestCoord:
+    def test_fields(self):
+        c = Coord(3, 5)
+        assert c.x == 3 and c.y == 5
+
+    def test_manhattan_zero(self):
+        assert Coord(2, 2).manhattan(Coord(2, 2)) == 0
+
+    def test_manhattan_symmetric(self):
+        a, b = Coord(1, 7), Coord(4, 2)
+        assert a.manhattan(b) == b.manhattan(a) == 8
+
+    def test_tuple_behaviour(self):
+        assert Coord(1, 2) == (1, 2)
+
+
+class TestSubMesh:
+    def test_paper_example(self):
+        """(0, 0, 2, 1) is the 3x2 sub-mesh S of the paper's Fig. 1."""
+        s = SubMesh(0, 0, 2, 1)
+        assert s.width == 3
+        assert s.length == 2
+        assert s.area == 6
+        assert s.base == Coord(0, 0)
+        assert s.end == Coord(2, 1)
+
+    def test_from_base(self):
+        s = SubMesh.from_base(1, 2, 3, 4)
+        assert s == SubMesh(1, 2, 3, 5)
+        assert s.width == 3 and s.length == 4
+
+    def test_single_node(self):
+        s = SubMesh(5, 5, 5, 5)
+        assert s.area == 1
+        assert list(s.nodes()) == [Coord(5, 5)]
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            SubMesh(3, 0, 2, 0)
+        with pytest.raises(ValueError):
+            SubMesh(0, 3, 0, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SubMesh(-1, 0, 2, 2)
+
+    def test_zero_side_rejected(self):
+        with pytest.raises(ValueError):
+            SubMesh.from_base(0, 0, 0, 3)
+
+    def test_contains(self):
+        s = SubMesh(1, 1, 3, 3)
+        assert s.contains(Coord(2, 2))
+        assert s.contains(Coord(1, 1))
+        assert s.contains(Coord(3, 3))
+        assert not s.contains(Coord(0, 1))
+        assert not s.contains(Coord(4, 3))
+
+    def test_contains_submesh(self):
+        outer = SubMesh(0, 0, 5, 5)
+        assert outer.contains_submesh(SubMesh(1, 1, 4, 4))
+        assert outer.contains_submesh(outer)
+        assert not outer.contains_submesh(SubMesh(1, 1, 6, 4))
+
+    def test_overlaps(self):
+        a = SubMesh(0, 0, 2, 2)
+        assert a.overlaps(SubMesh(2, 2, 4, 4))  # share corner (2,2)
+        assert not a.overlaps(SubMesh(3, 0, 4, 2))  # adjacent, disjoint
+        assert a.overlaps(a)
+
+    def test_nodes_row_major(self):
+        s = SubMesh(1, 1, 2, 2)
+        assert list(s.nodes()) == [
+            Coord(1, 1), Coord(2, 1), Coord(1, 2), Coord(2, 2)
+        ]
+
+    def test_nodes_count_is_area(self):
+        s = SubMesh.from_base(2, 3, 4, 5)
+        assert len(list(s.nodes())) == s.area == 20
+
+    def test_suits_definition4(self):
+        """Definition 4: suitable iff w >= a and l >= b."""
+        s = SubMesh.from_base(0, 0, 4, 3)
+        assert s.suits(4, 3)
+        assert s.suits(3, 2)
+        assert not s.suits(5, 3)
+        assert not s.suits(4, 4)
+        assert not s.suits(3, 4)  # no implicit rotation
+
+    def test_fits_in(self):
+        s = SubMesh.from_base(0, 0, 2, 5)
+        assert s.fits_in(2, 5)
+        assert s.fits_in(3, 6)
+        assert not s.fits_in(5, 2)  # no implicit rotation
+
+    def test_immutability(self):
+        s = SubMesh(0, 0, 1, 1)
+        with pytest.raises(AttributeError):
+            s.x1 = 5
+
+    @given(
+        x=st.integers(0, 10), y=st.integers(0, 10),
+        w=st.integers(1, 10), l=st.integers(1, 10),
+    )
+    def test_from_base_roundtrip(self, x, y, w, l):
+        s = SubMesh.from_base(x, y, w, l)
+        assert (s.width, s.length) == (w, l)
+        assert s.base == Coord(x, y)
+        assert s.area == w * l
+
+
+class TestClipSide:
+    def test_in_range(self):
+        assert clip_side(5.4, 10) == 5
+
+    def test_below(self):
+        assert clip_side(0.01, 10) == 1
+        assert clip_side(-3.0, 10) == 1
+
+    def test_above(self):
+        assert clip_side(99.0, 10) == 10
+
+    def test_rounding(self):
+        assert clip_side(4.5, 10) == 4  # banker's rounding via round()
+        assert clip_side(4.6, 10) == 5
+
+
+class TestShapeForSize:
+    def test_exact_square(self):
+        assert shape_for_size(16, 16, 22) == (4, 4)
+
+    def test_single(self):
+        assert shape_for_size(1, 16, 22) == (1, 1)
+
+    def test_prime(self):
+        w, l = shape_for_size(13, 16, 22)
+        assert w * l >= 13
+        assert w <= 16 and l <= 22
+
+    def test_full_machine(self):
+        w, l = shape_for_size(352, 16, 22)
+        assert (w, l) == (16, 22)
+
+    def test_too_big(self):
+        with pytest.raises(ValueError):
+            shape_for_size(353, 16, 22)
+
+    def test_non_positive(self):
+        with pytest.raises(ValueError):
+            shape_for_size(0, 16, 22)
+
+    @given(size=st.integers(1, 352))
+    def test_covers_and_minimal_waste(self, size):
+        w, l = shape_for_size(size, 16, 22)
+        assert 1 <= w <= 16 and 1 <= l <= 22
+        assert w * l >= size
+        # waste is at most one side length minus one
+        assert w * l - size < max(w, l)
+
+    @given(size=st.integers(1, 64))
+    def test_square_inputs_square_outputs(self, size):
+        """Perfect squares within caps shape to squares."""
+        root = int(size ** 0.5)
+        if root * root == size and root <= 8:
+            assert shape_for_size(size, 8, 8) == (root, root)

@@ -1,0 +1,153 @@
+"""Unit tests for repro.mesh.grid (occupancy state)."""
+
+import pytest
+
+from repro.mesh.geometry import Coord, SubMesh
+from repro.mesh.grid import FREE, MeshGrid, submeshes_disjoint
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        g = MeshGrid(16, 22)
+        assert g.width == 16 and g.length == 22
+        assert g.size == 352
+        assert g.free_count == 352
+        assert g.busy_count == 0
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            MeshGrid(0, 5)
+        with pytest.raises(ValueError):
+            MeshGrid(5, -1)
+
+
+class TestNodeIds:
+    def test_row_major(self):
+        g = MeshGrid(4, 4)
+        assert g.node_id(Coord(0, 0)) == 0
+        assert g.node_id(Coord(3, 0)) == 3
+        assert g.node_id(Coord(0, 1)) == 4
+        assert g.node_id(Coord(3, 3)) == 15
+
+    def test_roundtrip(self):
+        g = MeshGrid(5, 7)
+        for nid in range(g.size):
+            assert g.node_id(g.coord_of(nid)) == nid
+
+    def test_out_of_range(self):
+        g = MeshGrid(4, 4)
+        with pytest.raises(ValueError):
+            g.coord_of(16)
+        with pytest.raises(ValueError):
+            g.node_id(Coord(4, 0))
+
+
+class TestAllocateRelease:
+    def test_submesh_cycle(self, grid8):
+        s = SubMesh.from_base(1, 1, 3, 2)
+        grid8.allocate_submesh(s, 42)
+        assert grid8.free_count == 64 - 6
+        assert grid8.owner_at(Coord(1, 1)) == 42
+        assert not grid8.is_free(Coord(3, 2))
+        assert grid8.is_free(Coord(4, 1))
+        grid8.release_submesh(s, 42)
+        assert grid8.free_count == 64
+        grid8.validate()
+
+    def test_double_allocation_rejected(self, grid8):
+        s = SubMesh.from_base(0, 0, 2, 2)
+        grid8.allocate_submesh(s, 1)
+        with pytest.raises(ValueError, match="double allocation"):
+            grid8.allocate_submesh(SubMesh.from_base(1, 1, 2, 2), 2)
+        grid8.validate()
+
+    def test_release_wrong_owner_rejected(self, grid8):
+        s = SubMesh.from_base(0, 0, 2, 2)
+        grid8.allocate_submesh(s, 1)
+        with pytest.raises(ValueError, match="not owned"):
+            grid8.release_submesh(s, 2)
+
+    def test_release_free_rejected(self, grid8):
+        with pytest.raises(ValueError, match="not owned"):
+            grid8.release_submesh(SubMesh.from_base(0, 0, 1, 1), 1)
+
+    def test_out_of_bounds_rejected(self, grid8):
+        with pytest.raises(ValueError):
+            grid8.allocate_submesh(SubMesh.from_base(7, 7, 2, 2), 1)
+
+    def test_nodes_cycle(self, grid8):
+        nodes = [Coord(0, 0), Coord(5, 5), Coord(7, 0)]
+        grid8.allocate_nodes(nodes, 9)
+        assert grid8.free_count == 61
+        assert grid8.owner_at(Coord(5, 5)) == 9
+        grid8.release_nodes(nodes, 9)
+        assert grid8.free_count == 64
+        grid8.validate()
+
+    def test_nodes_double_alloc_atomic(self, grid8):
+        grid8.allocate_nodes([Coord(1, 1)], 1)
+        with pytest.raises(ValueError):
+            grid8.allocate_nodes([Coord(0, 0), Coord(1, 1)], 2)
+        # atomicity: the non-conflicting node must not have been taken
+        assert grid8.is_free(Coord(0, 0))
+        grid8.validate()
+
+    def test_owned_by(self, grid8):
+        s = SubMesh.from_base(2, 3, 2, 1)
+        grid8.allocate_submesh(s, 7)
+        assert grid8.owned_by(7) == [Coord(2, 3), Coord(3, 3)]
+        assert grid8.owned_by(8) == []
+
+    def test_version_bumps(self, grid8):
+        v0 = grid8.version
+        grid8.allocate_nodes([Coord(0, 0)], 1)
+        assert grid8.version > v0
+
+    def test_reset(self, grid8):
+        grid8.allocate_submesh(SubMesh.from_base(0, 0, 4, 4), 1)
+        grid8.reset()
+        assert grid8.free_count == 64
+        assert grid8.owner_at(Coord(0, 0)) == FREE
+
+
+class TestQueries:
+    def test_submesh_free(self, grid8):
+        assert grid8.submesh_free(SubMesh.from_base(0, 0, 8, 8))
+        grid8.allocate_nodes([Coord(4, 4)], 1)
+        assert not grid8.submesh_free(SubMesh.from_base(3, 3, 3, 3))
+        assert grid8.submesh_free(SubMesh.from_base(0, 0, 4, 4))
+
+    def test_free_mask_shape(self, grid8):
+        mask = grid8.free_mask()
+        assert mask.shape == (8, 8)  # (L, W)
+        assert mask.all()
+
+    def test_free_mask_indexing(self, grid8):
+        grid8.allocate_nodes([Coord(2, 5)], 1)  # x=2, y=5
+        mask = grid8.free_mask()
+        assert not mask[5, 2]
+        assert mask[2, 5]
+
+    def test_ascii_art(self):
+        g = MeshGrid(3, 2)
+        g.allocate_nodes([Coord(0, 0)], 1)
+        art = g.ascii_art()
+        rows = art.split("\n")
+        assert rows[-1] == "#.."  # y=0 printed last
+        assert rows[0] == "..."
+
+
+class TestDisjointHelper:
+    def test_disjoint(self):
+        assert submeshes_disjoint(
+            [SubMesh(0, 0, 1, 1), SubMesh(2, 2, 3, 3)]
+        )
+
+    def test_overlapping(self):
+        assert not submeshes_disjoint(
+            [SubMesh(0, 0, 2, 2), SubMesh(2, 2, 3, 3)]
+        )
+
+    def test_empty_and_single(self):
+        assert submeshes_disjoint([])
+        assert submeshes_disjoint([SubMesh(0, 0, 5, 5)])

@@ -1,0 +1,38 @@
+"""The README/quickstart public API must keep working."""
+
+import repro
+from repro import (
+    PAPER_CONFIG,
+    SimConfig,
+    Simulator,
+    make_allocator,
+    make_scheduler,
+)
+from repro.workload import StochasticWorkload
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_quickstart_snippet():
+    """The exact flow shown in the package docstring."""
+    cfg = SimConfig(jobs=20, seed=42)
+    sim = Simulator(
+        cfg,
+        make_allocator("GABL", cfg.width, cfg.length),
+        make_scheduler("FCFS"),
+        StochasticWorkload(cfg, load=0.01, sides="uniform"),
+    )
+    result = sim.run()
+    assert result.completed_jobs == 20
+    assert result.mean_turnaround > 0
+
+
+def test_paper_config_is_paper():
+    assert PAPER_CONFIG.processors == 352

@@ -1,0 +1,144 @@
+"""Unit tests for the FCFS and SSD schedulers."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.sched import FCFSScheduler, SSDScheduler, make_scheduler
+
+
+def job(jid: int, demand: float, arrival: float = 0.0) -> Job:
+    return Job(
+        job_id=jid,
+        arrival_time=arrival,
+        width=2,
+        length=2,
+        messages=max(1, int(demand)),
+        service_demand=demand,
+    )
+
+
+class TestFCFS:
+    def test_fifo_order(self):
+        s = FCFSScheduler()
+        jobs = [job(i, demand=10 - i) for i in range(3)]
+        for j in jobs:
+            s.add(j)
+        assert s.peek() == [jobs[0]]
+        s.remove(jobs[0])
+        assert s.peek() == [jobs[1]]
+
+    def test_peek_many(self):
+        s = FCFSScheduler()
+        jobs = [job(i, 1) for i in range(5)]
+        for j in jobs:
+            s.add(j)
+        assert s.peek(3) == jobs[:3]
+        assert s.peek(10) == jobs
+
+    def test_remove_middle(self):
+        s = FCFSScheduler(window=3)
+        jobs = [job(i, 1) for i in range(3)]
+        for j in jobs:
+            s.add(j)
+        s.remove(jobs[1])
+        assert s.peek(5) == [jobs[0], jobs[2]]
+        assert len(s) == 2
+
+    def test_empty_peek(self):
+        assert FCFSScheduler().peek() == []
+
+    def test_reset(self):
+        s = FCFSScheduler()
+        s.add(job(1, 1))
+        s.reset()
+        assert len(s) == 0
+
+
+class TestSSD:
+    def test_shortest_first(self):
+        """SSD considers the shortest service demand first (paper s4)."""
+        s = SSDScheduler()
+        big = job(1, demand=100)
+        small = job(2, demand=5)
+        mid = job(3, demand=50)
+        for j in (big, small, mid):
+            s.add(j)
+        assert s.peek() == [small]
+        s.remove(small)
+        assert s.peek() == [mid]
+        s.remove(mid)
+        assert s.peek() == [big]
+
+    def test_ties_broken_by_arrival(self):
+        s = SSDScheduler()
+        first = job(1, demand=7)
+        second = job(2, demand=7)
+        s.add(first)
+        s.add(second)
+        assert s.peek() == [first]
+
+    def test_peek_many_sorted(self):
+        s = SSDScheduler()
+        jobs = [job(i, demand=d) for i, d in enumerate([9, 1, 5, 3, 7])]
+        for j in jobs:
+            s.add(j)
+        heads = s.peek(3)
+        assert [j.service_demand for j in heads] == [1, 3, 5]
+
+    def test_remove_non_head(self):
+        s = SSDScheduler(window=2)
+        a, b, c = job(1, 1), job(2, 2), job(3, 3)
+        for j in (a, b, c):
+            s.add(j)
+        s.remove(b)  # lazy removal path
+        assert len(s) == 2
+        assert s.peek(5) == [a, c]
+
+    def test_interleaved_add_remove(self):
+        s = SSDScheduler()
+        a = job(1, 10)
+        s.add(a)
+        s.remove(a)
+        assert len(s) == 0
+        assert s.peek() == []
+        b = job(2, 1)
+        s.add(b)
+        assert s.peek() == [b]
+
+    def test_reset(self):
+        s = SSDScheduler()
+        s.add(job(1, 5))
+        s.reset()
+        assert len(s) == 0
+        assert s.peek() == []
+
+
+class TestFactoryAndWindow:
+    def test_make(self):
+        assert isinstance(make_scheduler("FCFS"), FCFSScheduler)
+        assert isinstance(make_scheduler("SSD"), SSDScheduler)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            make_scheduler("SJF")
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            FCFSScheduler(window=0)
+
+    def test_window_passthrough(self):
+        s = make_scheduler("SSD", window=4)
+        assert s.window == 4
+
+
+class TestDemandKeys:
+    def test_stochastic_default_demand_is_messages(self):
+        j = Job(job_id=1, arrival_time=0, width=2, length=2, messages=7)
+        assert j.service_demand == 7.0
+
+    def test_trace_demand_overrides(self):
+        j = Job(
+            job_id=1, arrival_time=0, width=2, length=2,
+            messages=7, service_demand=1234.5,
+        )
+        assert j.service_demand == 1234.5

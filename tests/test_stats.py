@@ -1,0 +1,180 @@
+"""Unit tests for the statistics package (Welford, CI, replications)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.ci import mean_confidence_interval, relative_error
+from repro.stats.replication import run_replications
+from repro.stats.welford import Welford
+
+
+class TestWelford:
+    def test_empty(self):
+        w = Welford()
+        assert w.n == 0
+        assert w.variance == 0.0
+        assert w.sem == 0.0
+
+    def test_single(self):
+        w = Welford()
+        w.add(5.0)
+        assert w.mean == 5.0
+        assert w.variance == 0.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        xs = rng.normal(10, 3, size=500)
+        w = Welford()
+        for x in xs:
+            w.add(float(x))
+        assert w.mean == pytest.approx(float(np.mean(xs)))
+        assert w.variance == pytest.approx(float(np.var(xs, ddof=1)))
+        assert w.std == pytest.approx(float(np.std(xs, ddof=1)))
+
+    def test_merge(self):
+        rng = np.random.default_rng(2)
+        xs = rng.exponential(2.0, size=301)
+        a, b = Welford(), Welford()
+        for x in xs[:150]:
+            a.add(float(x))
+        for x in xs[150:]:
+            b.add(float(x))
+        a.merge(b)
+        assert a.n == 301
+        assert a.mean == pytest.approx(float(np.mean(xs)))
+        assert a.variance == pytest.approx(float(np.var(xs, ddof=1)))
+
+    def test_merge_empty_cases(self):
+        a, b = Welford(), Welford()
+        b.add(3.0)
+        a.merge(b)
+        assert a.mean == 3.0
+        a.merge(Welford())
+        assert a.n == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_property_matches_reference(self, xs):
+        w = Welford()
+        for x in xs:
+            w.add(x)
+        assert w.mean == pytest.approx(sum(xs) / len(xs), rel=1e-9, abs=1e-6)
+
+
+class TestCI:
+    def test_known_value(self):
+        """95% CI of [1..10]: mean 5.5, sd=3.0277, sem=0.9574,
+        t(0.975, 9)=2.2622 -> half-width 2.1659."""
+        values = list(range(1, 11))
+        mean, hw = mean_confidence_interval(values)
+        assert mean == pytest.approx(5.5)
+        assert hw == pytest.approx(2.1659, rel=1e-3)
+
+    def test_single_value_infinite(self):
+        mean, hw = mean_confidence_interval([4.2])
+        assert mean == 4.2
+        assert math.isinf(hw)
+
+    def test_constant_values_zero_width(self):
+        mean, hw = mean_confidence_interval([7.0] * 5)
+        assert mean == 7.0 and hw == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1, 2], confidence=1.5)
+
+    def test_wider_confidence_wider_interval(self):
+        values = [1.0, 3.0, 2.0, 5.0, 4.0]
+        _, hw95 = mean_confidence_interval(values, 0.95)
+        _, hw99 = mean_confidence_interval(values, 0.99)
+        assert hw99 > hw95
+
+    def test_relative_error(self):
+        assert relative_error(10.0, 0.5) == pytest.approx(0.05)
+        assert relative_error(0.0, 0.5) == math.inf
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(-10.0, 0.5) == pytest.approx(0.05)
+
+
+class TestReplications:
+    def test_deterministic_single_run(self):
+        calls = []
+
+        def run(seed):
+            calls.append(seed)
+            return {"m": 42.0}
+
+        res = run_replications(run, ["m"], min_replications=1, max_replications=1)
+        assert res.replications == 1
+        assert res.converged
+        assert res.mean("m") == 42.0
+
+    def test_stops_when_converged(self):
+        """Low-variance stream converges at min_replications."""
+        rng = np.random.default_rng(0)
+
+        def run(seed):
+            return {"m": 100.0 + float(rng.normal(0, 0.01))}
+
+        res = run_replications(run, ["m"], min_replications=3, max_replications=20)
+        assert res.replications == 3
+        assert res.converged
+        assert res["m"].relative_error <= 0.05
+
+    def test_runs_to_cap_when_noisy(self):
+        rng = np.random.default_rng(1)
+
+        def run(seed):
+            return {"m": float(rng.uniform(0, 1000))}
+
+        res = run_replications(run, ["m"], min_replications=3, max_replications=5)
+        assert res.replications == 5
+        assert not res.converged
+
+    def test_paper_stopping_rule(self):
+        """95% confidence, 5% relative error (paper section 5)."""
+        rng = np.random.default_rng(2)
+
+        def run(seed):
+            return {"m": float(rng.normal(50, 2.0))}
+
+        res = run_replications(run, ["m"], min_replications=3, max_replications=50)
+        assert res.converged
+        assert res["m"].relative_error <= 0.05
+
+    def test_multiple_metrics_all_must_converge(self):
+        rng = np.random.default_rng(3)
+
+        def run(seed):
+            return {"stable": 10.0, "noisy": float(rng.uniform(0, 100))}
+
+        res = run_replications(
+            run, ["stable", "noisy"], min_replications=3, max_replications=6
+        )
+        assert res.replications == 6
+        assert not res.converged
+
+    def test_distinct_seeds_passed(self):
+        seeds = []
+
+        def run(seed):
+            seeds.append(seed)
+            return {"m": float(seed)}
+
+        run_replications(run, ["m"], min_replications=3, max_replications=3,
+                         base_seed=100)
+        assert seeds == [100, 101, 102]
+
+    def test_validation(self):
+        run = lambda seed: {"m": 1.0}
+        with pytest.raises(ValueError):
+            run_replications(run, ["m"], min_replications=0)
+        with pytest.raises(ValueError):
+            run_replications(run, ["m"], min_replications=5, max_replications=2)

@@ -1,0 +1,114 @@
+"""Unit tests for the stochastic workload generator."""
+
+import itertools
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.workload.stochastic import StochasticWorkload
+
+
+CFG = SimConfig(width=16, length=22, jobs=10)
+
+
+def take(wl, n, seed=1):
+    return list(itertools.islice(wl.jobs(seed), n))
+
+
+class TestValidation:
+    def test_bad_load(self):
+        with pytest.raises(ValueError):
+            StochasticWorkload(CFG, load=0.0)
+
+    def test_bad_sides(self):
+        with pytest.raises(ValueError):
+            StochasticWorkload(CFG, load=0.01, sides="normal")
+
+
+class TestUniform:
+    def test_sides_in_range(self):
+        wl = StochasticWorkload(CFG, load=0.01, sides="uniform")
+        for j in take(wl, 500):
+            assert 1 <= j.width <= 16
+            assert 1 <= j.length <= 22
+            assert j.messages >= 1
+
+    def test_side_means(self):
+        """Uniform over [1, W] and [1, L]: means (W+1)/2, (L+1)/2."""
+        wl = StochasticWorkload(CFG, load=0.01, sides="uniform")
+        jobs = take(wl, 4000)
+        mean_w = sum(j.width for j in jobs) / len(jobs)
+        mean_l = sum(j.length for j in jobs) / len(jobs)
+        assert mean_w == pytest.approx(8.5, rel=0.05)
+        assert mean_l == pytest.approx(11.5, rel=0.05)
+
+    def test_interarrival_mean_is_inverse_load(self):
+        """Paper: system load = inverse of mean inter-arrival time."""
+        wl = StochasticWorkload(CFG, load=0.02, sides="uniform")
+        jobs = take(wl, 4000)
+        gaps = [b.arrival_time - a.arrival_time for a, b in zip(jobs, jobs[1:])]
+        assert sum(gaps) / len(gaps) == pytest.approx(50.0, rel=0.06)
+
+    def test_message_mean_is_num_mes(self):
+        wl = StochasticWorkload(CFG, load=0.01, sides="uniform")
+        jobs = take(wl, 4000)
+        mean_k = sum(j.messages for j in jobs) / len(jobs)
+        assert mean_k == pytest.approx(5.0, rel=0.1)
+
+    def test_ssd_demand_equals_messages(self):
+        wl = StochasticWorkload(CFG, load=0.01, sides="uniform")
+        for j in take(wl, 50):
+            assert j.service_demand == float(j.messages)
+
+
+class TestExponential:
+    def test_sides_in_range(self):
+        wl = StochasticWorkload(CFG, load=0.01, sides="exponential")
+        for j in take(wl, 500):
+            assert 1 <= j.width <= 16
+            assert 1 <= j.length <= 22
+
+    def test_mean_near_half_side(self):
+        """Exponential with mean half the mesh side, clipped into range."""
+        wl = StochasticWorkload(CFG, load=0.01, sides="exponential")
+        jobs = take(wl, 4000)
+        mean_w = sum(j.width for j in jobs) / len(jobs)
+        mean_l = sum(j.length for j in jobs) / len(jobs)
+        # clipping pulls the mean below W/2 and L/2 but not wildly
+        assert 5.0 < mean_w < 8.0
+        assert 7.5 < mean_l < 11.0
+
+    def test_smaller_than_uniform_on_average(self):
+        uni = StochasticWorkload(CFG, load=0.01, sides="uniform")
+        exp = StochasticWorkload(CFG, load=0.01, sides="exponential")
+        uni_mean = sum(j.size for j in take(uni, 2000)) / 2000
+        exp_mean = sum(j.size for j in take(exp, 2000)) / 2000
+        assert exp_mean < uni_mean
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        wl = StochasticWorkload(CFG, load=0.01, sides="uniform")
+        a = take(wl, 50, seed=9)
+        b = take(wl, 50, seed=9)
+        assert [(j.arrival_time, j.width, j.length, j.messages) for j in a] == [
+            (j.arrival_time, j.width, j.length, j.messages) for j in b
+        ]
+
+    def test_different_seeds_differ(self):
+        wl = StochasticWorkload(CFG, load=0.01, sides="uniform")
+        a = take(wl, 50, seed=1)
+        b = take(wl, 50, seed=2)
+        assert [j.width for j in a] != [j.width for j in b]
+
+    def test_arrivals_monotone(self):
+        wl = StochasticWorkload(CFG, load=0.05, sides="exponential")
+        jobs = take(wl, 500)
+        assert all(
+            a.arrival_time <= b.arrival_time for a, b in zip(jobs, jobs[1:])
+        )
+
+    def test_ids_sequential(self):
+        wl = StochasticWorkload(CFG, load=0.01, sides="uniform")
+        jobs = take(wl, 10)
+        assert [j.job_id for j in jobs] == list(range(1, 11))
