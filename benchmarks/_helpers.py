@@ -1,11 +1,13 @@
 """Support code shared by the per-figure benchmark files.
 
 ``figure_bench`` is the workhorse: it regenerates one paper figure's data
-series (cached across figures that share simulation points), writes the
-table to ``results/<fig>.txt``, verifies the paper's headline ranking
-claims, and times a representative fresh simulation point with
-pytest-benchmark so ``--benchmark-only`` output reflects real simulation
-throughput rather than cache hits.
+series through the campaign engine (deduplicated and cached across
+figures that share simulation points; set ``REPRO_JOBS=N`` to fan the
+simulations out over N worker processes), writes the table to
+``results/<fig>.txt``, verifies the paper's headline ranking claims, and
+times a representative fresh simulation point with pytest-benchmark so
+``--benchmark-only`` output reflects real simulation throughput rather
+than cache hits.
 """
 
 from __future__ import annotations
@@ -22,6 +24,14 @@ from repro.experiments.figures import FIGURES
 from repro.experiments.report import check_ranking, format_figure
 from repro.experiments.runner import FigureResult, Scale, make_workload, run_figure
 from repro.sched import make_scheduler
+
+
+def bench_jobs() -> int:
+    """Worker-process count for figure regeneration (``REPRO_JOBS``)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
 
 #: pairs (better, worse) asserted with generous slack -- these were robust
 #: across calibration seeds; soft pairs merely warn (small-sample noise)
@@ -67,7 +77,7 @@ def figure_bench(
     soft: Sequence[Sequence[str]] = (),
 ) -> FigureResult:
     """Regenerate ``fig_id``, check rankings, record, and time the kernel."""
-    result = run_figure(fig_id, scale=scale)
+    result = run_figure(fig_id, scale=scale, jobs=bench_jobs())
     table = format_figure(result)
     print("\n" + table)
     out = results_dir() / f"{fig_id}.txt"

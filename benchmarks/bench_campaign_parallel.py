@@ -1,0 +1,71 @@
+"""Serial vs. parallel campaign execution on a smoke-scale sweep.
+
+Runs the same deduplicated campaign twice from a cold cache -- once on
+the serial executor, once on a 4-process pool -- verifies the metric
+dicts are identical (seeds come from each point's spec, never from
+worker state), and records the wall-clock speedup in
+``results/campaign_parallel.txt``.
+
+The speedup is hardware-bound: expect ~2x or better on a 4-core machine
+and ~1x (pool overhead only) on a single core.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import SimConfig
+from repro.experiments.campaign import Campaign, Scale
+from repro.experiments.store import ResultCache
+
+from _helpers import results_dir
+
+PARALLEL_JOBS = 4
+BENCH_CONFIG = SimConfig(width=16, length=16, seed=7)
+#: small but non-trivial cells so per-task work dominates pool overhead
+#: (the scale -- not the config -- pins the per-run job count)
+BENCH_SCALE = Scale("bench", jobs=80, min_replications=1, max_replications=1,
+                    trace_max_jobs=300)
+
+
+def _build_campaign() -> Campaign:
+    return Campaign.sweep(
+        workloads=("uniform", "exponential"),
+        loads=(0.004, 0.008),
+        allocs=("GABL", "MBS"),
+        scheds=("FCFS",),
+        scale=BENCH_SCALE,
+        config=BENCH_CONFIG,
+    )
+
+
+def _timed_run(campaign: Campaign, jobs: int, tmp_path) -> tuple[float, dict]:
+    cache = ResultCache(tmp_path / f"cache-j{jobs}")
+    t0 = time.perf_counter()
+    results = campaign.run(jobs=jobs, cache=cache)
+    return time.perf_counter() - t0, {s.key(): v for s, v in results.items()}
+
+
+def test_campaign_parallel_speedup(benchmark, tmp_path):
+    campaign = _build_campaign()
+
+    t_serial, r_serial = _timed_run(campaign, 1, tmp_path)
+    t_parallel, r_parallel = _timed_run(campaign, PARALLEL_JOBS, tmp_path)
+    assert r_serial == r_parallel, "parallel run must reproduce serial metrics"
+
+    speedup = t_serial / t_parallel if t_parallel > 0 else float("inf")
+    report = (
+        f"campaign: {len(campaign.points)} points, smoke scale\n"
+        f"serial (-j 1):            {t_serial:8.2f} s\n"
+        f"pool   (-j {PARALLEL_JOBS}):            {t_parallel:8.2f} s\n"
+        f"speedup:                  {speedup:8.2f} x\n"
+    )
+    print("\n" + report)
+    (results_dir() / "campaign_parallel.txt").write_text(report)
+
+    # the recorded benchmark kernel: one warm serial pass (pure cache
+    # reads) -- regeneration cost after a campaign has populated the store
+    cache = ResultCache(tmp_path / "cache-j1")
+    benchmark.pedantic(
+        campaign.run, kwargs={"jobs": 1, "cache": cache}, rounds=1, iterations=1
+    )

@@ -3,18 +3,21 @@
 
 Reproduces the turnaround-vs-load experiment of the paper's Fig. 3 at a
 reduced scale, printing the table and an ASCII plot.  This goes through
-:mod:`repro.experiments`, the same machinery the benchmark harness uses,
-so results are cached under ``.repro-cache/``.
+the campaign engine in :mod:`repro.experiments` -- the same machinery
+the CLI and the benchmark harness use -- so shared simulation points are
+deduplicated, results are cached under ``.repro-cache/``, and the cells
+can be fanned out over worker processes with ``-j``.
 
 Usage::
 
-    python examples/stochastic_sweep.py [fig3|fig4|...]
-    REPRO_SCALE=quick python examples/stochastic_sweep.py
+    python examples/stochastic_sweep.py [fig3|fig4|...] [-j N]
+    REPRO_SCALE=quick python examples/stochastic_sweep.py fig3 -j 4
 """
 
-import sys
+import argparse
 
 from repro.experiments import (
+    Campaign,
     ascii_plot,
     default_scale,
     format_figure,
@@ -23,11 +26,20 @@ from repro.experiments import (
 
 
 def main() -> None:
-    fig_id = sys.argv[1] if len(sys.argv) > 1 else "fig3"
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fig_id", nargs="?", default="fig3")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes (default: 1, serial)")
+    args = parser.parse_args()
     scale = default_scale()
-    print(f"regenerating {fig_id} at scale={scale} "
+    campaign = Campaign.from_figures((args.fig_id,), scale=scale)
+    print(f"regenerating {args.fig_id} at scale={scale}: "
+          f"{len(campaign.points)} unique points on {args.jobs} worker(s) "
           f"(set REPRO_SCALE=paper for full fidelity)...\n")
-    result = run_figure(fig_id, scale=scale)
+    campaign.run(jobs=args.jobs, progress=print)
+    # all cells are now cached; assembling the figure is free
+    result = run_figure(args.fig_id, scale=scale)
+    print()
     print(format_figure(result))
     print()
     print(ascii_plot(result))

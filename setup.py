@@ -13,7 +13,9 @@ setup(
     version="1.0.0",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    python_requires=">=3.10",
+    # 3.11+: parallel campaigns pickle frozen slotted dataclasses
+    # (PointSpec/Scale/SimConfig), which 3.10 cannot round-trip
+    python_requires=">=3.11",
     install_requires=["numpy>=1.24", "scipy>=1.10"],
     entry_points={"console_scripts": ["repro-mesh = repro.cli:main"]},
 )

@@ -5,9 +5,19 @@ Usage::
     python -m repro fig3                 # one figure, smoke scale
     python -m repro fig2 fig5 --scale quick
     python -m repro all --scale paper    # every figure, paper fidelity
+    python -m repro all --scale paper -j 4   # ... on 4 worker processes
     python -m repro fig2 --swf SDSC-Par-95.swf   # real archive trace
     python -m repro point --workload uniform --load 0.02 \
         --alloc GABL --sched SSD         # a single simulation point
+    python -m repro sweep --workloads uniform,exponential \
+        --loads 0.005,0.009,0.013 --allocs GABL,MBS --scheds FCFS,SSD \
+        -j 4                             # a custom grid campaign
+
+Figure targets are executed as one deduplicated campaign: cells shared
+between figures (e.g. the uniform sweep behind figs 3/6/9/12/15) are
+simulated once, and ``--jobs/-j N`` fans the work out over N worker
+processes with identical results to a serial run (replication seeds are
+derived from each point's spec, never from worker state).
 """
 
 from __future__ import annotations
@@ -17,7 +27,8 @@ import sys
 import time
 from typing import Sequence
 
-from repro.core.config import PAPER_CONFIG, SimConfig
+from repro.core.config import PAPER_CONFIG
+from repro.experiments.campaign import Campaign
 from repro.experiments.figures import FIGURES
 from repro.experiments.report import ascii_plot, format_figure, summarize_point
 from repro.experiments.runner import SCALES, default_scale, run_figure, run_point
@@ -35,13 +46,20 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "targets",
         nargs="+",
-        help="figure ids (fig2..fig16), 'all', 'claims', or 'point'",
+        help="figure ids (fig2..fig16), 'all', 'claims', 'point', or 'sweep'",
     )
     p.add_argument(
         "--scale",
         choices=sorted(SCALES),
         default=None,
         help="fidelity preset (default: REPRO_SCALE env or 'smoke')",
+    )
+    p.add_argument(
+        "-j", "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for simulation points (default: 1, serial)",
     )
     p.add_argument("--plot", action="store_true", help="add ASCII plots")
     p.add_argument(
@@ -66,11 +84,61 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--load", type=float)
     p.add_argument("--alloc", default="GABL")
     p.add_argument("--sched", default="FCFS")
+    # 'sweep' options (comma-separated grids)
+    p.add_argument(
+        "--workloads",
+        default=None,
+        help="sweep: comma-separated workloads (real,uniform,exponential)",
+    )
+    p.add_argument(
+        "--loads", default=None, help="sweep: comma-separated load values"
+    )
+    p.add_argument(
+        "--allocs", default="GABL", help="sweep: comma-separated allocators"
+    )
+    p.add_argument(
+        "--scheds", default="FCFS", help="sweep: comma-separated schedulers"
+    )
     return p
+
+
+def _progress(msg: str) -> None:
+    print(msg, file=sys.stderr)
+
+
+def _run_sweep(args, scale, config, trace) -> int:
+    if args.workloads is None or args.loads is None:
+        print("sweep requires --workloads and --loads", file=sys.stderr)
+        return 2
+    try:
+        loads = tuple(float(x) for x in args.loads.split(",") if x)
+    except ValueError:
+        print(f"bad --loads value {args.loads!r}", file=sys.stderr)
+        return 2
+    campaign = Campaign.sweep(
+        workloads=tuple(x for x in args.workloads.split(",") if x),
+        loads=loads,
+        allocs=tuple(x for x in args.allocs.split(",") if x),
+        scheds=tuple(x for x in args.scheds.split(",") if x),
+        scale=scale, config=config,
+        network_mode=args.network_mode, trace=trace,
+    )
+    print(f"sweep: {len(campaign.points)} unique points, "
+          f"scale={scale}, jobs={args.jobs}")
+    t0 = time.perf_counter()
+    results = campaign.run(jobs=args.jobs, progress=_progress)
+    dt = time.perf_counter() - t0
+    for spec in campaign.points:
+        print(f"{spec.label()}: {summarize_point(results[spec])}")
+    print(f"[sweep: {len(campaign.points)} points, {dt:.1f}s]")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
     scale = args.scale or default_scale()
     config = PAPER_CONFIG.with_(topology=args.topology)
     trace = None
@@ -85,14 +153,34 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             targets.append(t)
 
+    # run the union of all requested figures as ONE deduplicated campaign
+    # (shared sweeps simulate once; -j parallelises across every cell)
+    fig_targets = [t for t in targets if t in FIGURES]
+    if fig_targets:
+        campaign = Campaign.from_figures(
+            fig_targets, scale=scale, config=config,
+            network_mode=args.network_mode, trace=trace,
+        )
+        _progress(
+            f"campaign: {len(campaign.points)} unique points for "
+            f"{len(fig_targets)} figure(s), scale={scale}, jobs={args.jobs}"
+        )
+        campaign.run(jobs=args.jobs, progress=_progress)
+
     for target in targets:
         if target == "claims":
             from repro.experiments.claims import verify_all
 
-            report = verify_all(scale=scale, network_mode=args.network_mode)
+            report = verify_all(scale=scale, network_mode=args.network_mode,
+                                jobs=args.jobs)
             print(report.format())
             if not report.passed:
                 return 1
+            continue
+        if target == "sweep":
+            rc = _run_sweep(args, scale, config, trace)
+            if rc != 0:
+                return rc
             continue
         if target == "point":
             if args.workload is None or args.load is None:
@@ -102,7 +190,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             point = run_point(
                 args.workload, args.load, args.alloc, args.sched,
                 scale=scale, config=config,
-                network_mode=args.network_mode, trace=trace,
+                network_mode=args.network_mode, trace=trace, jobs=args.jobs,
             )
             dt = time.perf_counter() - t0
             print(

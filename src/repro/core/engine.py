@@ -80,15 +80,30 @@ class Engine:
     ) -> None:
         """Drain the event heap.
 
-        Stops when the heap is empty, the next event is later than
-        ``until``, the ``stop`` predicate returns True (checked between
-        events), or ``max_events`` have been executed.
+        Stop conditions, checked *between* events (no event is ever half
+        processed):
+
+        * ``stop()`` returns True -- before the next event executes;
+        * the next event is later than ``until`` -- the clock advances
+          (clamps) to ``until`` and the event stays queued;
+        * ``max_events`` events have been executed *by this call* -- the
+          budget is checked before popping, so ``run(max_events=0)``
+          executes nothing and repeated calls each get a fresh budget;
+        * the heap is empty -- the clock advances to ``until`` if given.
+
+        An early stop via ``stop`` or ``max_events`` leaves the clock at
+        the last executed event: events earlier than ``until`` are still
+        pending, and clamping past them would make a resumed ``run()``
+        move time backwards.
         """
         heap = self._heap
+        executed = 0
         self.running = True
         try:
             while heap:
                 if stop is not None and stop():
+                    break
+                if max_events is not None and executed >= max_events:
                     break
                 ev = heap[0]
                 if ev.cancelled:
@@ -100,9 +115,8 @@ class Engine:
                 heapq.heappop(heap)
                 self._now = ev.time
                 self._processed += 1
+                executed += 1
                 ev.callback(*ev.args)
-                if max_events is not None and self._processed >= max_events:
-                    break
             else:
                 if until is not None:
                     self._now = max(self._now, until)

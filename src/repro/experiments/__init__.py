@@ -1,11 +1,20 @@
-"""Experiment registry, runner and reporting for the paper's figures."""
+"""Experiment registry, campaign engine, runner and reporting."""
 
 from repro.experiments.figures import COMBOS, FIGURES, FigureSpec, combo_label
+from repro.experiments.campaign import (
+    Campaign,
+    PointSpec,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    make_executor,
+    run_spec_replication,
+    trace_fingerprint,
+)
+from repro.experiments.store import ResultCache, global_cache, reset_global_cache
 from repro.experiments.runner import (
     METRICS,
     SCALES,
     FigureResult,
-    ResultCache,
     Scale,
     default_scale,
     run_figure,
@@ -29,12 +38,21 @@ __all__ = [
     "FIGURES",
     "FigureSpec",
     "combo_label",
+    "Campaign",
+    "PointSpec",
+    "ProcessPoolExecutor",
+    "SerialExecutor",
+    "make_executor",
+    "run_spec_replication",
+    "trace_fingerprint",
     "METRICS",
     "SCALES",
     "FigureResult",
     "ResultCache",
     "Scale",
     "default_scale",
+    "global_cache",
+    "reset_global_cache",
     "run_figure",
     "run_point",
     "sdsc_trace",

@@ -1,0 +1,506 @@
+"""Campaign engine: deduplicated point enumeration and parallel execution.
+
+The paper's result grid is embarrassingly parallel: 15 figures x ~5 loads
+x 6 strategy combos x up to 20 replications each, every cell independent
+of every other.  This module turns that grid into an explicit *campaign*:
+
+* :class:`PointSpec` -- one frozen, picklable simulation cell (workload,
+  load, allocator, scheduler, scale, config, network mode).  Its
+  :meth:`~PointSpec.key` is a stable JSON document of the field values,
+  which doubles as the result-store key;
+* :class:`Campaign` -- enumerates the union of cells needed by a set of
+  figures (or an arbitrary grid sweep), deduplicates cells shared
+  between figures (the uniform sweep feeds Figs. 3, 6, 9, 12 and 15 but
+  is simulated once), and executes replications through a pluggable
+  executor;
+* :class:`SerialExecutor` / :class:`ProcessPoolExecutor` -- in-process
+  and multi-process execution backends.  Replication seeds are a pure
+  function of the spec (``config.seed + replication_index``), never of
+  worker state, so serial and parallel runs of the same campaign produce
+  **identical** metrics.
+
+The replication loop is *batched* (see
+:class:`repro.stats.ReplicationController`): each uncached point first
+submits its ``min_replications`` seeds, the CI stopping rule is checked
+on the collected batch, and unconverged points submit further seeds
+round by round.  All points' outstanding seeds of a round are flattened
+into one task list, so a process pool interleaves work across points.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from concurrent import futures
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Protocol, Sequence
+
+from repro.alloc import make_allocator
+from repro.core.config import PAPER_CONFIG, SimConfig
+from repro.core.simulator import Simulator
+from repro.experiments.figures import FIGURES
+from repro.experiments.store import ResultCache, global_cache
+from repro.sched import make_scheduler
+from repro.stats.replication import ReplicationController
+from repro.workload.sdsc import synthesize_sdsc_trace
+from repro.workload.stochastic import StochasticWorkload
+from repro.workload.trace import TraceJob, TraceWorkload
+
+#: metrics recorded for every point (RunResult attribute names)
+METRICS = (
+    "mean_turnaround",
+    "mean_service",
+    "mean_wait",
+    "mean_packet_latency",
+    "mean_packet_blocking",
+    "utilization",
+    "mean_fragments",
+    "contiguity_rate",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Scale:
+    """Fidelity preset."""
+
+    name: str
+    jobs: int  #: completed jobs per run
+    min_replications: int
+    max_replications: int
+    trace_max_jobs: int | None  #: trace prefix length (None = full trace)
+
+    @classmethod
+    def by_name(cls, name: str) -> "Scale":
+        try:
+            return SCALES[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+            ) from None
+
+
+SCALES: dict[str, Scale] = {
+    "smoke": Scale("smoke", jobs=120, min_replications=1, max_replications=1,
+                   trace_max_jobs=600),
+    "quick": Scale("quick", jobs=300, min_replications=2, max_replications=3,
+                   trace_max_jobs=2000),
+    "paper": Scale("paper", jobs=1000, min_replications=3, max_replications=20,
+                   trace_max_jobs=None),
+}
+
+
+def default_scale() -> str:
+    """Scale preset from ``REPRO_SCALE`` (default ``smoke``)."""
+    name = os.environ.get("REPRO_SCALE", "smoke")
+    Scale.by_name(name)  # validate early
+    return name
+
+
+# ------------------------------------------------------------------- traces
+_TRACE_CACHE: dict[tuple[int | None, int], list[TraceJob]] = {}
+
+
+def sdsc_trace(max_jobs: int | None = None, seed: int = 1995) -> list[TraceJob]:
+    """Synthetic SDSC trace, memoised per (length, seed)."""
+    key = (max_jobs, seed)
+    if key not in _TRACE_CACHE:
+        full = _TRACE_CACHE.get((None, seed))
+        if full is None:
+            full = synthesize_sdsc_trace(seed=seed)
+            _TRACE_CACHE[(None, seed)] = full
+        _TRACE_CACHE[key] = full[:max_jobs] if max_jobs else full
+    return _TRACE_CACHE[key]
+
+
+def make_workload(
+    workload: str,
+    config: SimConfig,
+    load: float,
+    scale: Scale,
+    trace: Sequence[TraceJob] | None = None,
+):
+    """Build the workload object for one point."""
+    if workload == "uniform":
+        return StochasticWorkload(config, load, sides="uniform")
+    if workload == "exponential":
+        return StochasticWorkload(config, load, sides="exponential")
+    if workload == "real":
+        jobs = list(trace) if trace is not None else sdsc_trace(scale.trace_max_jobs)
+        return TraceWorkload(config, jobs, load, max_jobs=scale.trace_max_jobs)
+    raise KeyError(f"unknown workload {workload!r}")
+
+
+# -------------------------------------------------------------------- specs
+def trace_fingerprint(trace: Sequence[TraceJob]) -> str:
+    """Content digest of an external trace, for cache keying.
+
+    Two different ``--swf`` files must never alias in the persistent
+    store, so the spec's ``trace_source`` embeds this digest rather
+    than a bare "external" marker.
+    """
+    h = hashlib.sha256()
+    for tj in trace:
+        h.update(f"{tj.arrival!r}|{tj.size!r}|{tj.runtime!r}\n".encode())
+    return f"ext:{h.hexdigest()[:16]}"
+
+
+@dataclass(frozen=True, slots=True)
+class PointSpec:
+    """One simulation cell, frozen and picklable.
+
+    External traces are not embedded (they can be large); the campaign
+    carries them separately and ``trace_source`` holds their content
+    fingerprint (:func:`trace_fingerprint`) so cells replayed from
+    different traces cannot alias each other or the built-in SDSC one.
+
+    The stored ``config`` is normalised to the *run* config (job count
+    pinned by the scale preset), so spec equality, hashing and
+    :meth:`key` all agree on what constitutes the same cell.
+    """
+
+    workload: str
+    load: float
+    alloc: str
+    sched: str
+    scale: Scale
+    config: SimConfig = PAPER_CONFIG
+    network_mode: str = "fast"
+    trace_source: str = "sdsc"  #: "sdsc" or an external-trace fingerprint
+
+    def __post_init__(self) -> None:
+        if self.config.jobs != self.scale.jobs:
+            object.__setattr__(self, "config",
+                               self.config.with_(jobs=self.scale.jobs))
+
+    @property
+    def run_config(self) -> SimConfig:
+        """The per-run config (job count pinned by the scale preset)."""
+        return self.config
+
+    @property
+    def replication_bounds(self) -> tuple[int, int]:
+        """(min, max) replications; trace replay is deterministic -> 1."""
+        if self.workload == "real":
+            return (1, 1)
+        return (self.scale.min_replications, self.scale.max_replications)
+
+    def key(self) -> str:
+        """Stable structured store key: JSON of every outcome-affecting
+        field.  Unlike a joined string, a field value containing a
+        separator or drifting float repr cannot alias another point."""
+        lo, hi = self.replication_bounds
+        payload = {
+            "workload": self.workload,
+            "load": self.load,
+            "alloc": self.alloc,
+            "sched": self.sched,
+            "network_mode": self.network_mode,
+            "trace_source": self.trace_source,
+            "trace_max_jobs": self.scale.trace_max_jobs,
+            "replications": [lo, hi],
+            "config": dataclasses.asdict(self.run_config),
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def label(self) -> str:
+        """Short human-readable form for progress output."""
+        return (
+            f"{self.workload} load={self.load:g} "
+            f"{self.alloc}({self.sched})"
+        )
+
+    def controller(self) -> ReplicationController:
+        lo, hi = self.replication_bounds
+        return ReplicationController(
+            METRICS,
+            min_replications=lo,
+            max_replications=hi,
+            base_seed=self.run_config.seed,
+        )
+
+
+def run_spec_replication(
+    spec: PointSpec, seed: int, trace: Sequence[TraceJob] | None = None
+) -> dict[str, float]:
+    """Execute ONE replication of a point; the process-pool work unit.
+
+    Module-level (hence picklable) and a pure function of its arguments:
+    every simulation input, including the seed, comes from the task, so
+    any worker computes the same answer.
+    """
+    cfg = spec.run_config
+    allocator = make_allocator(spec.alloc, cfg.width, cfg.length)
+    scheduler = make_scheduler(spec.sched, window=cfg.scheduler_window)
+    wl = make_workload(spec.workload, cfg, spec.load, spec.scale, trace=trace)
+    sim = Simulator(
+        cfg, allocator, scheduler, wl,
+        network_mode=spec.network_mode, seed=seed,
+    )
+    result = sim.run()
+    return {m: result.metric(m) for m in METRICS}
+
+
+#: task marker: fetch the external trace from the worker-process global
+#: (shipped once per worker by the pool initializer, not per task)
+_TRACE_FROM_INITIALIZER = "@initializer"
+
+_WORKER_TRACE: list[TraceJob] | None = None
+
+
+def _set_worker_trace(trace: Sequence[TraceJob] | None) -> None:
+    global _WORKER_TRACE
+    _WORKER_TRACE = list(trace) if trace is not None else None
+
+
+def _run_task(
+    task: tuple[PointSpec, int, Sequence[TraceJob] | str | None],
+) -> dict[str, float]:
+    spec, seed, trace = task
+    if isinstance(trace, str):  # _TRACE_FROM_INITIALIZER
+        trace = _WORKER_TRACE
+    return run_spec_replication(spec, seed, trace)
+
+
+# ---------------------------------------------------------------- executors
+class Executor(Protocol):
+    """Minimal future-based task interface the campaign engine needs."""
+
+    jobs: int
+
+    def submit(self, fn: Callable, task) -> futures.Future: ...
+
+    def close(self) -> None: ...
+
+
+class SerialExecutor:
+    """Run tasks in-process, one at a time (the default).
+
+    ``submit`` executes the task immediately and returns an
+    already-resolved future, so the campaign's drain loop observes the
+    same completion protocol as with a pool.
+    """
+
+    jobs = 1
+
+    def submit(self, fn: Callable, task) -> futures.Future:
+        fut: futures.Future = futures.Future()
+        try:
+            fut.set_result(fn(task))
+        except Exception as exc:  # surfaced by fut.result();
+            fut.set_exception(exc)  # KeyboardInterrupt propagates now
+        return fut
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessPoolExecutor:
+    """Fan tasks out over ``jobs`` worker processes.
+
+    A thin adapter around :class:`concurrent.futures.ProcessPoolExecutor`
+    that starts its workers lazily.  ``initializer``/``initargs`` run
+    once per worker process (the campaign uses them to ship an external
+    trace once instead of pickling it into every task)."""
+
+    def __init__(self, jobs: int, initializer: Callable | None = None,
+                 initargs: tuple = ()) -> None:
+        if jobs < 2:
+            raise ValueError("ProcessPoolExecutor needs jobs >= 2; use SerialExecutor")
+        self.jobs = jobs
+        self._initializer = initializer
+        self._initargs = initargs
+        self._pool: futures.ProcessPoolExecutor | None = None
+
+    def submit(self, fn: Callable, task) -> futures.Future:
+        if self._pool is None:
+            self._pool = futures.ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        return self._pool.submit(fn, task)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def make_executor(jobs: int) -> Executor:
+    """``jobs <= 1`` -> serial; otherwise a process pool."""
+    return SerialExecutor() if jobs <= 1 else ProcessPoolExecutor(jobs)
+
+
+# ----------------------------------------------------------------- campaign
+class Campaign:
+    """A deduplicated set of simulation points and the engine to run it."""
+
+    def __init__(
+        self,
+        points: Iterable[PointSpec],
+        trace: Sequence[TraceJob] | None = None,
+    ) -> None:
+        unique: dict[str, PointSpec] = {}
+        for spec in points:
+            unique.setdefault(spec.key(), spec)
+        #: unique points in first-seen order
+        self.points: tuple[PointSpec, ...] = tuple(unique.values())
+        self.trace = list(trace) if trace is not None else None
+
+    # ------------------------------------------------------------- builders
+    @classmethod
+    def from_figures(
+        cls,
+        fig_ids: Sequence[str],
+        scale: str | Scale = "smoke",
+        config: SimConfig = PAPER_CONFIG,
+        network_mode: str = "fast",
+        trace: Sequence[TraceJob] | None = None,
+    ) -> "Campaign":
+        """The union of cells needed to regenerate ``fig_ids``.
+
+        Figures sharing a sweep (e.g. figs 3/6/9/12/15 all read the
+        uniform workload) contribute the same specs, which collapse in
+        the constructor's dedup pass.
+        """
+        sc = Scale.by_name(scale) if isinstance(scale, str) else scale
+        source = trace_fingerprint(trace) if trace is not None else "sdsc"
+        specs = []
+        for fig_id in fig_ids:
+            spec = FIGURES[fig_id]
+            for alloc, sched in spec.combos:
+                for load in spec.loads_for(sc.name):
+                    specs.append(PointSpec(
+                        workload=spec.workload, load=load,
+                        alloc=alloc, sched=sched, scale=sc, config=config,
+                        network_mode=network_mode, trace_source=source,
+                    ))
+        return cls(specs, trace=trace)
+
+    @classmethod
+    def sweep(
+        cls,
+        workloads: Sequence[str],
+        loads: Sequence[float],
+        allocs: Sequence[str],
+        scheds: Sequence[str],
+        scale: str | Scale = "smoke",
+        config: SimConfig = PAPER_CONFIG,
+        network_mode: str = "fast",
+        trace: Sequence[TraceJob] | None = None,
+    ) -> "Campaign":
+        """A user-defined full-factorial grid sweep."""
+        sc = Scale.by_name(scale) if isinstance(scale, str) else scale
+        source = trace_fingerprint(trace) if trace is not None else "sdsc"
+        specs = [
+            PointSpec(
+                workload=w, load=ld, alloc=a, sched=s, scale=sc,
+                config=config, network_mode=network_mode, trace_source=source,
+            )
+            for w in workloads for ld in loads for a in allocs for s in scheds
+        ]
+        return cls(specs, trace=trace)
+
+    # ------------------------------------------------------------ execution
+    def run(
+        self,
+        jobs: int = 1,
+        executor: Executor | None = None,
+        cache: ResultCache | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> dict[PointSpec, dict[str, float]]:
+        """Execute every point (replications included); returns metric
+        means per spec.  Results are read from / written to the shared
+        result store, so repeated campaigns and overlapping figure sets
+        only ever simulate a cell once."""
+        note = progress if progress is not None else (lambda _msg: None)
+        store = cache if cache is not None else global_cache()
+        results: dict[PointSpec, dict[str, float]] = {}
+        controllers: dict[PointSpec, ReplicationController] = {}
+        for spec in self.points:
+            hit = store.get(spec.key())
+            if hit is not None:
+                results[spec] = dict(hit)
+            else:
+                controllers[spec] = spec.controller()
+        done = len(results)
+        total = len(self.points)
+        if done:
+            note(f"{done}/{total} points already cached")
+        if not controllers:
+            return results
+
+        own_executor = executor is None
+        if executor is not None:
+            exe = executor
+            trace: Sequence[TraceJob] | str | None = self.trace
+        elif jobs > 1 and self.trace is not None:
+            # ship the external trace ONCE per worker process via the
+            # pool initializer instead of pickling it into every task
+            exe = ProcessPoolExecutor(jobs, initializer=_set_worker_trace,
+                                      initargs=(self.trace,))
+            trace = _TRACE_FROM_INITIALIZER
+        else:
+            exe = make_executor(jobs)
+            trace = self.trace
+
+        # completion-driven drain: every point persists to the store the
+        # moment its replication batch lands, so an interrupted campaign
+        # loses at most the batches in flight, and unconverged points
+        # resubmit seeds without waiting on unrelated cells
+        inflight: dict[futures.Future, tuple[PointSpec, int]] = {}
+        batch_seeds: dict[PointSpec, tuple[int, ...]] = {}
+        batch_got: dict[PointSpec, dict[int, dict[str, float]]] = {}
+
+        def submit_batch(spec: PointSpec) -> None:
+            seeds = controllers[spec].next_seeds()
+            batch_seeds[spec] = seeds
+            batch_got[spec] = {}
+            for seed in seeds:
+                inflight[exe.submit(_run_task, (spec, seed, trace))] = (spec, seed)
+
+        def process(fut: futures.Future) -> None:
+            nonlocal done
+            spec, seed = inflight.pop(fut)
+            batch_got[spec][seed] = fut.result()
+            if len(batch_got[spec]) < len(batch_seeds[spec]):
+                return
+            ctrl = controllers[spec]
+            # feed in seed order: controller state must not depend on
+            # worker completion order (serial/parallel equivalence)
+            ctrl.add_batch([batch_got[spec][s] for s in batch_seeds[spec]])
+            del batch_seeds[spec], batch_got[spec]
+            if not ctrl.finished:
+                submit_batch(spec)
+                return
+            rep = ctrl.result()
+            out = {m: rep.mean(m) for m in METRICS}
+            store.put(spec.key(), out)
+            results[spec] = out
+            del controllers[spec]
+            done += 1
+            note(
+                f"[{done}/{total}] {spec.label()} "
+                f"({rep.replications} rep{'s' if rep.replications != 1 else ''})"
+            )
+
+        try:
+            for spec in list(controllers):
+                submit_batch(spec)
+                # a serial executor resolves at submit time: drain now so
+                # each point persists before the next one runs
+                ready, _ = futures.wait(tuple(inflight), timeout=0)
+                for fut in ready:
+                    process(fut)
+            while inflight:
+                ready, _ = futures.wait(
+                    tuple(inflight), return_when=futures.FIRST_COMPLETED
+                )
+                for fut in ready:
+                    process(fut)
+        finally:
+            if own_executor:
+                exe.close()
+        return results

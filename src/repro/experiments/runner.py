@@ -1,11 +1,14 @@
-"""Experiment runner: simulation points, figure sweeps, result caching.
+"""Experiment runner: thin figure/point wrappers over the campaign engine.
 
 A *point* is one (workload, load, allocator, scheduler) cell; running it
 yields all five paper metrics at once, so the uniform-workload sweep is
 simulated once and shared by Figs. 3, 6, 9, 12 and 15 (likewise for the
-other workloads).  Results are memoised in-process and optionally on disk
-(JSON, ``.repro-cache/``), keyed by every parameter that affects the
-outcome; set ``REPRO_CACHE=0`` to disable the disk cache.
+other workloads).  Enumeration, deduplication and (optionally parallel)
+execution live in :mod:`repro.experiments.campaign`; results are
+memoised in-process and in a sharded on-disk store
+(:mod:`repro.experiments.store`, ``.repro-cache/``), keyed by the
+structured :meth:`PointSpec.key`; set ``REPRO_CACHE=0`` to disable the
+disk cache.
 
 Scale presets trade fidelity for wall-clock:
 
@@ -15,153 +18,47 @@ Scale presets trade fidelity for wall-clock:
   CI is within 5% (the paper's stopping rule), full load sweeps.
 
 Select via the ``REPRO_SCALE`` environment variable or the ``scale=``
-argument.
+argument.  Pass ``jobs=N`` (CLI: ``-j N``) to fan simulation work out
+over N worker processes; serial and parallel runs produce identical
+metrics because replication seeds are derived from the spec alone.
 """
 
 from __future__ import annotations
 
-import json
-import os
 from dataclasses import dataclass
-from pathlib import Path
 from typing import Mapping, Sequence
 
-from repro.alloc import make_allocator
 from repro.core.config import PAPER_CONFIG, SimConfig
-from repro.core.simulator import Simulator
-from repro.experiments.figures import FIGURES, FigureSpec, combo_label
-from repro.sched import make_scheduler
-from repro.stats.replication import run_replications
-from repro.workload.sdsc import synthesize_sdsc_trace
-from repro.workload.stochastic import StochasticWorkload
-from repro.workload.trace import TraceJob, TraceWorkload
-
-#: metrics recorded for every point (RunResult attribute names)
-METRICS = (
-    "mean_turnaround",
-    "mean_service",
-    "mean_wait",
-    "mean_packet_latency",
-    "mean_packet_blocking",
-    "utilization",
-    "mean_fragments",
-    "contiguity_rate",
+from repro.experiments.campaign import (
+    METRICS,
+    SCALES,
+    Campaign,
+    PointSpec,
+    Scale,
+    default_scale,
+    make_workload,
+    sdsc_trace,
+    trace_fingerprint,
 )
+from repro.experiments.figures import FIGURES, FigureSpec, combo_label
+from repro.experiments.store import ResultCache, global_cache
+from repro.workload.trace import TraceJob
 
-
-@dataclass(frozen=True, slots=True)
-class Scale:
-    """Fidelity preset."""
-
-    name: str
-    jobs: int  #: completed jobs per run
-    min_replications: int
-    max_replications: int
-    trace_max_jobs: int | None  #: trace prefix length (None = full trace)
-
-    @classmethod
-    def by_name(cls, name: str) -> "Scale":
-        try:
-            return SCALES[name]
-        except KeyError:
-            raise KeyError(
-                f"unknown scale {name!r}; choose from {sorted(SCALES)}"
-            ) from None
-
-
-SCALES: dict[str, Scale] = {
-    "smoke": Scale("smoke", jobs=120, min_replications=1, max_replications=1,
-                   trace_max_jobs=600),
-    "quick": Scale("quick", jobs=300, min_replications=2, max_replications=3,
-                   trace_max_jobs=2000),
-    "paper": Scale("paper", jobs=1000, min_replications=3, max_replications=20,
-                   trace_max_jobs=None),
-}
-
-
-def default_scale() -> str:
-    """Scale preset from ``REPRO_SCALE`` (default ``smoke``)."""
-    name = os.environ.get("REPRO_SCALE", "smoke")
-    Scale.by_name(name)  # validate early
-    return name
-
-
-# --------------------------------------------------------------------- cache
-class ResultCache:
-    """Two-level memo: in-process dict + JSON file."""
-
-    def __init__(self, path: Path | None = None) -> None:
-        self._mem: dict[str, dict[str, float]] = {}
-        disk_enabled = os.environ.get("REPRO_CACHE", "1") != "0"
-        self.path = path if path is not None else _default_cache_path()
-        self.disk = disk_enabled and self.path is not None
-        if self.disk and self.path.exists():
-            try:
-                self._mem.update(json.loads(self.path.read_text()))
-            except (json.JSONDecodeError, OSError):
-                pass  # corrupt cache: start fresh
-
-    def get(self, key: str) -> dict[str, float] | None:
-        return self._mem.get(key)
-
-    def put(self, key: str, value: Mapping[str, float]) -> None:
-        self._mem[key] = dict(value)
-        if self.disk:
-            try:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                self.path.write_text(json.dumps(self._mem, indent=0, sort_keys=True))
-            except OSError:
-                self.disk = False  # read-only filesystem: stay in memory
-
-
-def _default_cache_path() -> Path:
-    root = os.environ.get("REPRO_CACHE_DIR")
-    base = Path(root) if root else Path.cwd() / ".repro-cache"
-    return base / "results.json"
-
-
-_GLOBAL_CACHE: ResultCache | None = None
-
-
-def global_cache() -> ResultCache:
-    global _GLOBAL_CACHE
-    if _GLOBAL_CACHE is None:
-        _GLOBAL_CACHE = ResultCache()
-    return _GLOBAL_CACHE
-
-
-# ------------------------------------------------------------------- points
-_TRACE_CACHE: dict[tuple[int | None, int], list[TraceJob]] = {}
-
-
-def sdsc_trace(max_jobs: int | None = None, seed: int = 1995) -> list[TraceJob]:
-    """Synthetic SDSC trace, memoised per (length, seed)."""
-    key = (max_jobs, seed)
-    if key not in _TRACE_CACHE:
-        full = _TRACE_CACHE.get((None, seed))
-        if full is None:
-            full = synthesize_sdsc_trace(seed=seed)
-            _TRACE_CACHE[(None, seed)] = full
-        _TRACE_CACHE[key] = full[:max_jobs] if max_jobs else full
-    return _TRACE_CACHE[key]
-
-
-def make_workload(
-    workload: str,
-    config: SimConfig,
-    load: float,
-    scale: Scale,
-    trace: Sequence[TraceJob] | None = None,
-):
-    """Build the workload object for one point."""
-    if workload == "uniform":
-        return StochasticWorkload(config, load, sides="uniform")
-    if workload == "exponential":
-        return StochasticWorkload(config, load, sides="exponential")
-    if workload == "real":
-        jobs = list(trace) if trace is not None else sdsc_trace(scale.trace_max_jobs)
-        return TraceWorkload(config, jobs, load, max_jobs=scale.trace_max_jobs)
-    raise KeyError(f"unknown workload {workload!r}")
+__all__ = [
+    "METRICS",
+    "SCALES",
+    "Campaign",
+    "FigureResult",
+    "PointSpec",
+    "ResultCache",
+    "Scale",
+    "default_scale",
+    "global_cache",
+    "make_workload",
+    "run_figure",
+    "run_point",
+    "sdsc_trace",
+]
 
 
 def run_point(
@@ -174,50 +71,17 @@ def run_point(
     network_mode: str = "fast",
     cache: ResultCache | None = None,
     trace: Sequence[TraceJob] | None = None,
+    jobs: int = 1,
 ) -> dict[str, float]:
     """Run (with replications) one point; returns metric means."""
     sc = Scale.by_name(scale) if isinstance(scale, str) else scale
-    run_cfg = config.with_(jobs=sc.jobs)
-    key = "|".join(
-        str(v)
-        for v in (
-            workload, load, alloc, sched, sc.jobs, sc.min_replications,
-            sc.max_replications, sc.trace_max_jobs, network_mode,
-            run_cfg.width, run_cfg.length, run_cfg.topology, run_cfg.t_s,
-            run_cfg.p_len, run_cfg.num_mes, run_cfg.trace_demand_multiplier,
-            run_cfg.round_gap_factor, run_cfg.max_messages, run_cfg.seed,
-            run_cfg.scheduler_window,
-            "ext" if trace is not None else "sdsc",
-        )
+    spec = PointSpec(
+        workload=workload, load=load, alloc=alloc, sched=sched,
+        scale=sc, config=config, network_mode=network_mode,
+        trace_source=trace_fingerprint(trace) if trace is not None else "sdsc",
     )
-    store = cache if cache is not None else global_cache()
-    hit = store.get(key)
-    if hit is not None:
-        return dict(hit)
-
-    def run_once(seed: int) -> dict[str, float]:
-        allocator = make_allocator(alloc, run_cfg.width, run_cfg.length)
-        scheduler = make_scheduler(sched, window=run_cfg.scheduler_window)
-        wl = make_workload(workload, run_cfg, load, sc, trace=trace)
-        sim = Simulator(
-            run_cfg, allocator, scheduler, wl,
-            network_mode=network_mode, seed=seed,
-        )
-        result = sim.run()
-        return {m: result.metric(m) for m in METRICS}
-
-    # trace replay is deterministic -> a single run regardless of scale
-    deterministic = workload == "real"
-    reps = run_replications(
-        run_once,
-        METRICS,
-        min_replications=1 if deterministic else sc.min_replications,
-        max_replications=1 if deterministic else sc.max_replications,
-        base_seed=run_cfg.seed,
-    )
-    out = {m: reps.mean(m) for m in METRICS}
-    store.put(key, out)
-    return out
+    campaign = Campaign((spec,), trace=trace)
+    return campaign.run(jobs=jobs, cache=cache)[spec]
 
 
 # ------------------------------------------------------------------ figures
@@ -241,20 +105,27 @@ def run_figure(
     network_mode: str = "fast",
     cache: ResultCache | None = None,
     trace: Sequence[TraceJob] | None = None,
+    jobs: int = 1,
 ) -> FigureResult:
     """Regenerate one paper figure's data series."""
     spec = FIGURES[fig_id]
     sc = Scale.by_name(scale)
     loads = spec.loads_for(sc.name)
+    campaign = Campaign.from_figures(
+        (fig_id,), scale=sc, config=config,
+        network_mode=network_mode, trace=trace,
+    )
+    points = campaign.run(jobs=jobs, cache=cache)
+    source = trace_fingerprint(trace) if trace is not None else "sdsc"
     series: dict[str, tuple[float, ...]] = {}
     for alloc, sched in spec.combos:
         values = []
         for load in loads:
-            point = run_point(
-                spec.workload, load, alloc, sched,
+            cell = PointSpec(
+                workload=spec.workload, load=load, alloc=alloc, sched=sched,
                 scale=sc, config=config, network_mode=network_mode,
-                cache=cache, trace=trace,
+                trace_source=source,
             )
-            values.append(point[spec.metric])
+            values.append(points[cell][spec.metric])
         series[combo_label(alloc, sched)] = tuple(values)
     return FigureResult(spec=spec, loads=loads, series=series)

@@ -1,0 +1,194 @@
+"""Sharded, concurrency-safe result store for campaign runs.
+
+The store memoises point results at two levels: an in-process dict and a
+shard directory on disk with **one JSON file per point key**.  Shard
+files are written atomically (tempfile in the same directory followed by
+``os.replace``), so any number of worker processes -- or concurrent
+campaign runs -- can populate the same cache directory without ever
+producing a torn or corrupt file: distinct keys land in distinct files,
+and concurrent writes of the same key resolve to one complete winner.
+
+Earlier versions kept a single monolithic ``results.json`` that was
+rewritten in full on every insertion (O(n^2) disk churn over a campaign)
+and could be truncated by an interrupt mid-``write_text``.  A legacy
+file found at the configured path is imported into the shard directory
+once and renamed to ``results.json.migrated``.
+
+Set ``REPRO_CACHE=0`` to keep results in memory only;
+``REPRO_CACHE_DIR`` relocates the on-disk cache (default
+``.repro-cache/`` under the working directory).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Mapping
+
+
+def _default_cache_path() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR")
+    base = Path(root) if root else Path.cwd() / ".repro-cache"
+    return base / "results.json"
+
+
+def _shard_name(key: str) -> str:
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:40] + ".json"
+
+
+def _translate_legacy_key(key: str) -> str | None:
+    """Rewrite a pre-shard ``"|"``-joined cache key as the structured
+    :meth:`PointSpec.key` JSON, so an imported paper-scale cache stays
+    *reachable* under the new lookup scheme.
+
+    The legacy format was 21 ``str()``-ed fields in a fixed order.
+    Returns ``None`` when ``key`` is not in that format or describes an
+    external trace (whose content fingerprint is unrecoverable).
+    """
+    parts = key.split("|")
+    if len(parts) != 21:
+        return None
+    (workload, load, alloc, sched, jobs, min_rep, max_rep, trace_max,
+     network_mode, width, length, topology, t_s, p_len, num_mes,
+     demand_mult, round_gap, max_messages, seed, window, trace_tag) = parts
+    if trace_tag != "sdsc":
+        return None
+    try:
+        # trace replay was (and is) a single deterministic run
+        lo, hi = (1, 1) if workload == "real" else (int(min_rep), int(max_rep))
+        payload = {
+            "workload": workload,
+            "load": float(load),
+            "alloc": alloc,
+            "sched": sched,
+            "network_mode": network_mode,
+            "trace_source": "sdsc",
+            "trace_max_jobs": None if trace_max == "None" else int(trace_max),
+            "replications": [lo, hi],
+            # fields absent from the legacy key were defaults there
+            "config": {
+                "width": int(width), "length": int(length),
+                "topology": topology, "t_s": float(t_s), "p_len": int(p_len),
+                "num_mes": float(num_mes), "max_messages": int(max_messages),
+                "trace_demand_multiplier": float(demand_mult),
+                "round_gap_factor": float(round_gap),
+                "jobs": int(jobs), "warmup_jobs": 0, "seed": int(seed),
+                "max_time": None, "scheduler_window": int(window),
+            },
+        }
+    except ValueError:
+        return None
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class ResultCache:
+    """Two-level memo: in-process dict + sharded JSON directory.
+
+    ``path`` accepts either a shard directory or, for backward
+    compatibility, a legacy ``*.json`` file path; the latter shards into
+    a sibling ``<name>.shards/`` directory and imports the legacy file's
+    contents on first load.
+    """
+
+    def __init__(self, path: Path | None = None) -> None:
+        self._mem: dict[str, dict[str, float]] = {}
+        disk_enabled = os.environ.get("REPRO_CACHE", "1") != "0"
+        p = Path(path) if path is not None else _default_cache_path()
+        if p.suffix == ".json":
+            legacy = p
+            self.path = p.with_suffix(".shards")
+        else:
+            legacy = p / "results.json"
+            self.path = p
+        self.disk = disk_enabled
+        if self.disk:
+            self._import_legacy(legacy)
+
+    # ------------------------------------------------------------------ API
+    def get(self, key: str) -> dict[str, float] | None:
+        hit = self._mem.get(key)
+        if hit is not None:
+            return hit
+        if not self.disk:
+            return None
+        value = self._read_shard(key)
+        if value is not None:
+            self._mem[key] = value
+        return value
+
+    def put(self, key: str, value: Mapping[str, float]) -> None:
+        self._mem[key] = dict(value)
+        if self.disk:
+            try:
+                self._write_shard(key, self._mem[key])
+            except OSError:
+                self.disk = False  # read-only filesystem: stay in memory
+
+    # ---------------------------------------------------------------- disk
+    def _read_shard(self, key: str) -> dict[str, float] | None:
+        shard = self.path / _shard_name(key)
+        try:
+            payload = json.loads(shard.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        # a hash collision (or foreign file) must not alias another point
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            return None
+        value = payload.get("value")
+        return dict(value) if isinstance(value, dict) else None
+
+    def _write_shard(self, key: str, value: Mapping[str, float]) -> None:
+        self.path.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump({"key": key, "value": dict(value)}, f)
+            os.replace(tmp, self.path / _shard_name(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _import_legacy(self, legacy: Path) -> None:
+        """One-shot migration of a monolithic ``results.json``."""
+        if not legacy.is_file():
+            return
+        try:
+            entries = json.loads(legacy.read_text())
+        except (OSError, json.JSONDecodeError):
+            return  # corrupt legacy cache: ignore it
+        if not isinstance(entries, dict):
+            return
+        try:
+            for key, value in entries.items():
+                if isinstance(value, dict):
+                    # pre-shard keys are rewritten to the structured
+                    # format; unrecognised keys import verbatim
+                    target = _translate_legacy_key(key) or key
+                    self._mem.setdefault(target, dict(value))
+                    if not (self.path / _shard_name(target)).exists():
+                        self._write_shard(target, value)
+            legacy.rename(legacy.with_suffix(".json.migrated"))
+        except OSError:
+            pass  # read-only cache dir: served from memory this run
+
+
+_GLOBAL_CACHE: ResultCache | None = None
+
+
+def global_cache() -> ResultCache:
+    global _GLOBAL_CACHE
+    if _GLOBAL_CACHE is None:
+        _GLOBAL_CACHE = ResultCache()
+    return _GLOBAL_CACHE
+
+
+def reset_global_cache() -> None:
+    """Drop the process-wide cache (tests / cache-dir changes)."""
+    global _GLOBAL_CACHE
+    _GLOBAL_CACHE = None

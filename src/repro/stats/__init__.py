@@ -8,13 +8,19 @@ that stopping rule.
 
 from repro.stats.welford import Welford
 from repro.stats.ci import mean_confidence_interval, relative_error
-from repro.stats.replication import ReplicatedMetric, ReplicationResult, run_replications
+from repro.stats.replication import (
+    ReplicatedMetric,
+    ReplicationController,
+    ReplicationResult,
+    run_replications,
+)
 
 __all__ = [
     "Welford",
     "mean_confidence_interval",
     "relative_error",
     "ReplicatedMetric",
+    "ReplicationController",
     "ReplicationResult",
     "run_replications",
 ]

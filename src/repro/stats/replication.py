@@ -4,11 +4,23 @@
 confidence level is 95% and the relative errors do not exceed 5%": run
 replications with distinct seeds until every watched metric's 95% CI
 half-width is within 5% of its mean (or a replication cap is reached).
+
+Two entry points share one rule:
+
+* :func:`run_replications` -- the sequential driver (one ``run_once``
+  call at a time), unchanged semantics;
+* :class:`ReplicationController` -- the *batched* form used by the
+  campaign engine: it hands out seed batches (``min_replications`` seeds
+  up front, then ``batch_size`` more per round) so a process pool can
+  run them concurrently, and evaluates the stopping rule on the results
+  fed back.  With ``batch_size=1`` (the default) the seeds run, the
+  replication count and the resulting means are *identical* to the
+  sequential driver -- parallel and serial execution agree bit-for-bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from repro.stats.ci import mean_confidence_interval, relative_error
@@ -44,6 +56,118 @@ class ReplicationResult:
         return self.metrics[name].mean
 
 
+class ReplicationController:
+    """Incremental stopping-rule evaluator for batched execution.
+
+    Usage::
+
+        ctrl = ReplicationController(metric_names, ...)
+        while (seeds := ctrl.next_seeds()):
+            ctrl.add_batch([run(seed) for seed in seeds])  # any order of
+        result = ctrl.result()                             # execution
+
+    ``next_seeds`` returns the ``min_replications`` warm-up batch first,
+    then ``batch_size`` further seeds per call until the rule is met or
+    ``max_replications`` have been issued, then ``()``.  Seeds are
+    ``base_seed + replication_index`` -- a pure function of the
+    constructor arguments, never of worker state, so any executor
+    produces the same sample stream.  ``add_batch`` must receive each
+    batch's results in seed order (the campaign engine collects a whole
+    batch before feeding it back, which restores order even when workers
+    finish out of order).
+    """
+
+    def __init__(
+        self,
+        metric_names: Sequence[str],
+        min_replications: int = 3,
+        max_replications: int = 20,
+        confidence: float = 0.95,
+        max_relative_error: float = 0.05,
+        base_seed: int = 0,
+        batch_size: int = 1,
+    ) -> None:
+        if min_replications < 1:
+            raise ValueError("min_replications must be >= 1")
+        if max_replications < min_replications:
+            raise ValueError("max_replications must be >= min_replications")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self._names = tuple(metric_names)
+        self._min = min_replications
+        self._max = max_replications
+        self._confidence = confidence
+        self._max_rel = max_relative_error
+        self._base_seed = base_seed
+        self._batch = batch_size
+        self._samples: dict[str, list[float]] = {m: [] for m in self._names}
+        self._issued = 0
+        self._completed = 0
+        self._converged = False
+
+    @property
+    def completed(self) -> int:
+        return self._completed
+
+    @property
+    def converged(self) -> bool:
+        return self._converged
+
+    @property
+    def finished(self) -> bool:
+        """No more seeds will be issued (converged or cap reached)."""
+        return self._completed >= self._issued and (
+            self._converged or self._issued >= self._max
+        )
+
+    def next_seeds(self) -> tuple[int, ...]:
+        """Seeds for the next batch; ``()`` once the point is finished."""
+        if self._completed < self._issued:
+            raise RuntimeError("previous batch not fed back yet")
+        if self.finished:
+            return ()
+        want = self._min if self._issued == 0 else self._batch
+        n = min(want, self._max - self._issued)
+        seeds = tuple(self._base_seed + i for i in range(self._issued, self._issued + n))
+        self._issued += n
+        return seeds
+
+    def add_batch(self, results: Sequence[Mapping[str, float]]) -> None:
+        """Record one batch of ``run_once`` outputs, in seed order."""
+        if self._completed + len(results) > self._issued:
+            raise ValueError("more results than issued seeds")
+        for result in results:
+            for m in self._names:
+                self._samples[m].append(float(result[m]))
+        self._completed += len(results)
+        if self._completed < self._min:
+            return
+        if self._min == 1 and self._max == 1:
+            self._converged = True  # single deterministic run
+            return
+        worst = 0.0
+        for m in self._names:
+            mean, hw = mean_confidence_interval(self._samples[m], self._confidence)
+            worst = max(worst, relative_error(mean, hw))
+        if worst <= self._max_rel:
+            self._converged = True
+
+    def result(self) -> ReplicationResult:
+        metrics = {}
+        for m in self._names:
+            mean, hw = mean_confidence_interval(self._samples[m], self._confidence)
+            metrics[m] = ReplicatedMetric(
+                name=m,
+                mean=mean,
+                half_width=hw,
+                relative_error=relative_error(mean, hw),
+                values=tuple(self._samples[m]),
+            )
+        return ReplicationResult(
+            metrics=metrics, replications=self._completed, converged=self._converged
+        )
+
+
 def run_replications(
     run_once: Callable[[int], Mapping[str, float]],
     metric_names: Sequence[str],
@@ -59,38 +183,20 @@ def run_replications(
     ``base_seed + replication_index``.  ``min_replications=1`` disables
     the rule entirely (single deterministic runs, e.g. trace replay).
     """
-    if min_replications < 1:
-        raise ValueError("min_replications must be >= 1")
-    if max_replications < min_replications:
-        raise ValueError("max_replications must be >= min_replications")
-    samples: dict[str, list[float]] = {m: [] for m in metric_names}
-    rep = 0
-    converged = False
-    while rep < max_replications:
-        result = run_once(base_seed + rep)
-        rep += 1
-        for m in metric_names:
-            samples[m].append(float(result[m]))
-        if rep < min_replications:
-            continue
-        if min_replications == 1 and max_replications == 1:
-            converged = True
-            break
-        worst = 0.0
-        for m in metric_names:
-            mean, hw = mean_confidence_interval(samples[m], confidence)
-            worst = max(worst, relative_error(mean, hw))
-        if worst <= max_relative_error:
-            converged = True
-            break
-    metrics = {}
-    for m in metric_names:
-        mean, hw = mean_confidence_interval(samples[m], confidence)
-        metrics[m] = ReplicatedMetric(
-            name=m,
-            mean=mean,
-            half_width=hw,
-            relative_error=relative_error(mean, hw),
-            values=tuple(samples[m]),
-        )
-    return ReplicationResult(metrics=metrics, replications=rep, converged=converged)
+    ctrl = ReplicationController(
+        metric_names,
+        min_replications=min_replications,
+        max_replications=max_replications,
+        confidence=confidence,
+        max_relative_error=max_relative_error,
+        base_seed=base_seed,
+        batch_size=1,
+    )
+    while seeds := ctrl.next_seeds():
+        # feeding each result back individually reproduces the classic
+        # check-after-every-replication loop exactly
+        for seed in seeds:
+            ctrl.add_batch([run_once(seed)])
+            if ctrl.converged:
+                break
+    return ctrl.result()

@@ -1,0 +1,247 @@
+"""Tests for the campaign engine: specs, dedup, executors, parallel
+equivalence, and the sharded concurrency-safe result store."""
+
+import json
+from concurrent import futures
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.experiments.campaign import (
+    Campaign,
+    PointSpec,
+    ProcessPoolExecutor,
+    Scale,
+    SerialExecutor,
+    make_executor,
+    run_spec_replication,
+    trace_fingerprint,
+)
+from repro.workload.trace import TraceJob
+from repro.experiments.runner import METRICS, run_figure, run_point
+from repro.experiments.store import ResultCache
+
+TINY = SimConfig(width=8, length=8, jobs=15, seed=11)
+SMOKE = Scale.by_name("smoke")
+#: two replications so the parallel path exercises batching
+TWO_REPS = Scale("two", jobs=12, min_replications=2, max_replications=2,
+                 trace_max_jobs=100)
+
+
+def _spec(**overrides) -> PointSpec:
+    base = dict(workload="uniform", load=0.01, alloc="GABL", sched="FCFS",
+                scale=SMOKE, config=TINY)
+    base.update(overrides)
+    return PointSpec(**base)
+
+
+class TestPointSpec:
+    def test_key_is_structured_json(self):
+        payload = json.loads(_spec().key())
+        assert payload["workload"] == "uniform"
+        assert payload["alloc"] == "GABL"
+        assert payload["config"]["width"] == 8
+        assert payload["config"]["jobs"] == SMOKE.jobs  # scale pins jobs
+
+    def test_key_cannot_alias_on_separator_fields(self):
+        # a joined-string key would make these two cells identical
+        a = _spec(alloc="A|B", sched="C")
+        b = _spec(alloc="A", sched="B|C")
+        assert a.key() != b.key()
+
+    def test_key_ignores_user_jobs_override(self):
+        # run job count comes from the scale, so configs differing only
+        # in `jobs` are the same cell -- as specs AND as keys
+        a = _spec(config=TINY.with_(jobs=50))
+        b = _spec(config=TINY.with_(jobs=70))
+        assert a.key() == b.key()
+        assert a == b  # equality agrees with key(): dedup cannot strand
+        assert a.config.jobs == SMOKE.jobs
+
+    def test_trace_source_distinguishes_cells(self):
+        assert _spec(workload="real").key() != \
+            _spec(workload="real", trace_source="ext:abc").key()
+
+    def test_different_traces_cannot_alias(self):
+        t1 = [TraceJob(arrival=float(i * 5), size=2, runtime=30.0)
+              for i in range(10)]
+        t2 = [TraceJob(arrival=float(i * 5), size=2, runtime=60.0)
+              for i in range(10)]
+        f1, f2 = trace_fingerprint(t1), trace_fingerprint(t2)
+        assert f1 != f2
+        assert f1 == trace_fingerprint(list(t1))  # content-determined
+        a = _spec(workload="real", trace_source=f1)
+        b = _spec(workload="real", trace_source=f2)
+        assert a.key() != b.key()
+
+    def test_real_workload_is_deterministic_single_run(self):
+        assert _spec(workload="real", scale=TWO_REPS).replication_bounds == (1, 1)
+        assert _spec(scale=TWO_REPS).replication_bounds == (2, 2)
+
+    def test_spec_is_hashable_and_picklable(self):
+        import pickle
+
+        spec = _spec()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert len({spec, _spec()}) == 1
+
+
+class TestCampaignEnumeration:
+    def test_dedup_within_campaign(self):
+        c = Campaign([_spec(), _spec(), _spec(load=0.02)])
+        assert len(c.points) == 2
+
+    def test_figures_sharing_a_sweep_collapse(self):
+        # figs 3 and 6 read the same uniform sweep (different metrics of
+        # the same cells); fig9 adds its saturation load
+        only3 = Campaign.from_figures(("fig3",))
+        both = Campaign.from_figures(("fig3", "fig6"))
+        plus9 = Campaign.from_figures(("fig3", "fig6", "fig9"))
+        assert len(both.points) == len(only3.points) == 12
+        assert len(plus9.points) == 18
+
+    def test_sweep_grid(self):
+        c = Campaign.sweep(["uniform", "exponential"], [0.01, 0.02],
+                           ["GABL"], ["FCFS", "SSD"], scale="smoke")
+        assert len(c.points) == 8
+
+
+class TestExecutors:
+    def test_make_executor(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+        assert isinstance(make_executor(4), ProcessPoolExecutor)
+        with pytest.raises(ValueError):
+            ProcessPoolExecutor(1)
+
+    def test_worker_function_is_picklable_task(self):
+        out = run_spec_replication(_spec(), seed=TINY.seed)
+        assert set(out) == set(METRICS)
+        assert out["mean_turnaround"] > 0
+
+
+class TestParallelEquivalence:
+    def _campaign(self) -> Campaign:
+        return Campaign.sweep(["uniform"], [0.01, 0.02], ["GABL", "MBS"],
+                              ["FCFS"], scale=TWO_REPS, config=TINY)
+
+    def test_process_pool_matches_serial(self, tmp_path):
+        """Same campaign, -j 1 vs -j 2: byte-identical metric dicts."""
+        campaign = self._campaign()
+        serial = campaign.run(jobs=1, cache=ResultCache(tmp_path / "serial"))
+        parallel = campaign.run(jobs=2, cache=ResultCache(tmp_path / "pool"))
+        assert {s.key(): v for s, v in serial.items()} == \
+            {s.key(): v for s, v in parallel.items()}
+
+    def test_run_point_parallel_matches_serial(self, tmp_path):
+        kwargs = dict(scale=TWO_REPS, config=TINY)
+        a = run_point("uniform", 0.01, "GABL", "FCFS",
+                      cache=ResultCache(tmp_path / "a"), jobs=1, **kwargs)
+        b = run_point("uniform", 0.01, "GABL", "FCFS",
+                      cache=ResultCache(tmp_path / "b"), jobs=2, **kwargs)
+        assert a == b
+
+    def test_external_trace_parallel_matches_serial(self, tmp_path):
+        # exercises the ship-trace-once pool initializer path
+        trace = [TraceJob(arrival=float(i * 4), size=(i % 4) + 1, runtime=25.0)
+                 for i in range(40)]
+        kwargs = dict(scale=SMOKE, config=TINY, trace=trace)
+        a = run_point("real", 0.05, "GABL", "FCFS",
+                      cache=ResultCache(tmp_path / "a"), jobs=1, **kwargs)
+        b = run_point("real", 0.05, "GABL", "FCFS",
+                      cache=ResultCache(tmp_path / "b"), jobs=2, **kwargs)
+        assert a == b
+
+    def test_run_figure_jobs_param(self, tmp_path):
+        a = run_figure("fig9", scale="smoke", config=TINY,
+                       cache=ResultCache(tmp_path / "a"), jobs=1)
+        b = run_figure("fig9", scale="smoke", config=TINY,
+                       cache=ResultCache(tmp_path / "b"), jobs=2)
+        assert a.series == b.series
+
+    def test_campaign_results_hit_the_store(self, tmp_path):
+        campaign = self._campaign()
+        cache = ResultCache(tmp_path / "c")
+        campaign.run(jobs=1, cache=cache)
+        for spec in campaign.points:
+            assert cache.get(spec.key()) is not None
+        # a fresh run against the warm store simulates nothing and agrees
+        again = campaign.run(jobs=1, cache=ResultCache(tmp_path / "c"))
+        assert set(again) == set(campaign.points)
+
+
+def _legacy_key(spec: PointSpec) -> str:
+    """The pre-shard cache key format, reconstructed for a spec."""
+    cfg, sc = spec.run_config, spec.scale
+    return "|".join(str(v) for v in (
+        spec.workload, spec.load, spec.alloc, spec.sched, sc.jobs,
+        sc.min_replications, sc.max_replications, sc.trace_max_jobs,
+        spec.network_mode, cfg.width, cfg.length, cfg.topology, cfg.t_s,
+        cfg.p_len, cfg.num_mes, cfg.trace_demand_multiplier,
+        cfg.round_gap_factor, cfg.max_messages, cfg.seed,
+        cfg.scheduler_window, "sdsc",
+    ))
+
+
+class TestLegacyMigration:
+    def test_legacy_keys_translate_to_structured_keys(self):
+        from repro.experiments.store import _translate_legacy_key
+
+        for spec in (_spec(), _spec(workload="real", load=0.05),
+                     _spec(scale=Scale.by_name("paper"), sched="SSD")):
+            assert _translate_legacy_key(_legacy_key(spec)) == spec.key()
+
+    def test_migrated_entries_reachable_via_run_point(self, tmp_path):
+        """A pre-shard results.json keeps serving cache hits unchanged."""
+        spec = _spec()
+        legacy = tmp_path / "c.json"
+        legacy.write_text(json.dumps(
+            {_legacy_key(spec): {m: 1.25 for m in METRICS}}
+        ))
+        out = run_point("uniform", 0.01, "GABL", "FCFS", scale=SMOKE,
+                        config=TINY, cache=ResultCache(legacy))
+        assert out == {m: 1.25 for m in METRICS}  # hit, not re-simulated
+
+
+def _put_range(args) -> int:
+    """Concurrent-writer worker: put n distinct keys into a shared dir."""
+    cache_dir, start, n = args
+    cache = ResultCache(cache_dir)
+    for i in range(start, start + n):
+        cache.put(f"key-{i}", {"m": float(i)})
+    return n
+
+
+class TestShardedStore:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = _spec().key()
+        cache.put(key, {"m": 1.5, "k": 2.0})
+        assert ResultCache(tmp_path / "c").get(key) == {"m": 1.5, "k": 2.0}
+
+    def test_one_shard_per_key(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        for i in range(5):
+            cache.put(f"key-{i}", {"m": float(i)})
+        assert len(list(cache.path.glob("*.json"))) == 5
+        assert not list(cache.path.glob("*.tmp"))
+
+    def test_put_does_not_rewrite_other_shards(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("a", {"m": 1.0})
+        shard = next(cache.path.glob("*.json"))
+        before = shard.stat().st_mtime_ns
+        cache.put("b", {"m": 2.0})
+        assert shard.stat().st_mtime_ns == before
+
+    def test_concurrent_writers_distinct_keys(self, tmp_path):
+        """Two worker processes populate one store without corruption."""
+        cache_dir = tmp_path / "shared"
+        with futures.ProcessPoolExecutor(max_workers=2) as pool:
+            counts = list(pool.map(
+                _put_range, [(cache_dir, 0, 40), (cache_dir, 40, 40)]
+            ))
+        assert counts == [40, 40]
+        cache = ResultCache(cache_dir)
+        for i in range(80):
+            assert cache.get(f"key-{i}") == {"m": float(i)}, f"key-{i} lost"
+        assert not list(cache.path.glob("*.tmp"))

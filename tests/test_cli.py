@@ -9,9 +9,12 @@ from repro.cli import main
 def isolated_cache(tmp_path, monkeypatch):
     """Keep CLI runs away from the repo-level result cache."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    # reset the module-level cache singleton between tests
-    import repro.experiments.runner as runner
-    monkeypatch.setattr(runner, "_GLOBAL_CACHE", None)
+    # reset the process-wide cache singleton between tests
+    from repro.experiments.store import reset_global_cache
+
+    reset_global_cache()
+    yield
+    reset_global_cache()
 
 
 def test_point_command(capsys):

@@ -92,6 +92,49 @@ class TestRunControl:
         e.run(max_events=3)
         assert e.processed == 3
 
+    def test_max_events_zero_executes_nothing(self):
+        e = Engine()
+        e.schedule(1.0, lambda: None)
+        e.run(max_events=0)
+        assert e.processed == 0
+        assert e.pending == 1
+        assert e.now == 0.0
+
+    def test_max_events_budget_is_per_call(self):
+        e = Engine()
+        for i in range(10):
+            e.schedule(float(i), lambda: None)
+        e.run(max_events=3)
+        e.run(max_events=3)  # a fresh budget, not the cumulative count
+        assert e.processed == 6
+
+    def test_max_events_stop_does_not_clamp_to_until(self):
+        # events at t=1..4 remain pending, so jumping the clock to
+        # until=10 would let a resumed run move time backwards
+        e = Engine()
+        for i in range(5):
+            e.schedule(float(i), lambda: None)
+        e.run(until=10.0, max_events=2)
+        assert e.now == 1.0
+        assert e.pending == 3
+
+    def test_stop_predicate_does_not_clamp_to_until(self):
+        e = Engine()
+        seen = []
+        for i in range(5):
+            e.schedule(float(i + 1), seen.append, i)
+        e.run(until=10.0, stop=lambda: len(seen) >= 2)
+        assert e.now == 2.0
+        e.run(until=10.0)  # resume drains the rest, then clamps
+        assert len(seen) == 5
+        assert e.now == 10.0
+
+    def test_until_clamps_when_budget_not_exhausted(self):
+        e = Engine()
+        e.schedule(1.0, lambda: None)
+        e.run(until=5.0, max_events=10)
+        assert e.now == 5.0
+
     def test_step(self):
         e = Engine()
         seen = []

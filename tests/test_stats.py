@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.stats.ci import mean_confidence_interval, relative_error
-from repro.stats.replication import run_replications
+from repro.stats.replication import ReplicationController, run_replications
 from repro.stats.welford import Welford
 
 
@@ -178,3 +178,78 @@ class TestReplications:
             run_replications(run, ["m"], min_replications=0)
         with pytest.raises(ValueError):
             run_replications(run, ["m"], min_replications=5, max_replications=2)
+
+
+def _stream(seed: int) -> dict:
+    """Synthetic metric stream: deterministic per seed, converges slowly."""
+    rng = np.random.default_rng(seed)
+    return {"m": float(rng.normal(100, 15.0)), "k": float(rng.normal(5, 0.1))}
+
+
+class TestReplicationController:
+    """The batched controller must reproduce the sequential rule."""
+
+    def _drive(self, **kwargs):
+        ctrl = ReplicationController(["m", "k"], **kwargs)
+        seen = []
+        while seeds := ctrl.next_seeds():
+            seen.append(seeds)
+            ctrl.add_batch([_stream(s) for s in seeds])
+        return ctrl, seen
+
+    def test_warmup_batch_is_min_replications(self):
+        ctrl, seen = self._drive(min_replications=3, max_replications=20,
+                                 base_seed=10)
+        assert seen[0] == (10, 11, 12)
+        assert all(len(batch) == 1 for batch in seen[1:])
+
+    def test_matches_sequential_stopping_rule(self):
+        for base_seed in (0, 7, 42):
+            seq = run_replications(_stream, ["m", "k"], min_replications=3,
+                                   max_replications=20, base_seed=base_seed)
+            ctrl, _ = self._drive(min_replications=3, max_replications=20,
+                                  base_seed=base_seed)
+            bat = ctrl.result()
+            assert bat.replications == seq.replications
+            assert bat.converged == seq.converged
+            assert bat["m"].values == seq["m"].values
+            assert bat.mean("m") == seq.mean("m")
+            assert bat.mean("k") == seq.mean("k")
+
+    def test_single_deterministic_run(self):
+        ctrl, seen = self._drive(min_replications=1, max_replications=1)
+        assert seen == [(0,)]
+        assert ctrl.result().converged
+
+    def test_cap_without_convergence(self):
+        def noisy(seed):
+            return {"m": float(np.random.default_rng(seed).uniform(0, 1e6)),
+                    "k": 1.0}
+
+        ctrl = ReplicationController(["m", "k"], min_replications=3,
+                                     max_replications=5)
+        while seeds := ctrl.next_seeds():
+            ctrl.add_batch([noisy(s) for s in seeds])
+        res = ctrl.result()
+        assert res.replications == 5
+        assert not res.converged
+
+    def test_larger_batch_size_never_exceeds_cap(self):
+        ctrl = ReplicationController(["m", "k"], min_replications=3,
+                                     max_replications=7, batch_size=3)
+        issued = []
+        while seeds := ctrl.next_seeds():
+            issued.extend(seeds)
+            ctrl.add_batch([{"m": float(np.random.default_rng(s).uniform(0, 1e6)),
+                             "k": 1.0} for s in seeds])
+        assert len(issued) == 7  # 3 warm-up + 3 + 1 (clipped at the cap)
+        assert issued == list(range(7))
+
+    def test_results_before_feedback_rejected(self):
+        ctrl = ReplicationController(["m"], min_replications=2,
+                                     max_replications=4)
+        ctrl.next_seeds()
+        with pytest.raises(RuntimeError):
+            ctrl.next_seeds()
+        with pytest.raises(ValueError):
+            ctrl.add_batch([{"m": 1.0}] * 3)  # more results than seeds
