@@ -1,11 +1,13 @@
-"""Ablation A7: the three network engines compared.
+"""Ablation A7: the four network engines compared.
 
-``fast`` (whole-path reservation), ``causal`` (exact per-hop arbitration)
-and ``sfb`` (single-flit-buffer wormhole with chained channel holding).
-DESIGN.md 2.1: fast may over-state and sfb must further amplify
-contention relative to causal, all three must agree on the paper's
-winner, and fast must be substantially quicker -- this bench quantifies
-all of it.
+``fast`` (whole-path reservation), ``batch`` (vectorised whole-path
+reservation, bit-identical to fast), ``causal`` (exact per-hop
+arbitration) and ``sfb`` (single-flit-buffer wormhole with chained
+channel holding).  DESIGN.md 2.1: fast may over-state and sfb must
+further amplify contention relative to causal, all four must agree on
+the paper's winner, batch must agree with fast *exactly*, and the
+reservation engines must be substantially quicker -- this bench
+quantifies all of it.
 """
 
 from __future__ import annotations
@@ -45,7 +47,7 @@ def _run(alloc: str, mode: str, jobs: int) -> tuple[dict[str, float], float]:
 
 def test_abl_network_mode(benchmark, scale):
     jobs = {"smoke": 80, "quick": 200, "paper": 500}.get(scale, 80)
-    modes = ("fast", "causal", "sfb")
+    modes = ("fast", "batch", "causal", "sfb")
     results: dict[str, dict[str, dict[str, float]]] = {m: {} for m in modes}
     times = {m: 0.0 for m in modes}
     for mode in modes:
@@ -69,6 +71,9 @@ def test_abl_network_mode(benchmark, scale):
     print("\n" + table)
     (results_dir() / "abl_network_mode.txt").write_text(table + "\n")
 
+    # (a') the vectorised engine reproduces the reference exactly
+    for alloc in ALLOCS:
+        assert results["batch"][alloc] == results["fast"][alloc], alloc
     # (b) the paper's headline winner is preserved across all engines:
     # GABL has the best service time (MBS/Paging ordering on latency can
     # swap within noise at smoke scale, so only the winner is asserted)

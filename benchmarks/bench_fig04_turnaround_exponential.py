@@ -12,7 +12,6 @@ from _helpers import (
     GABL_BEST_SSD,
     GABL_BEST_SSD_MBS,
     MBS_BEATS_PAGING_STOCH,
-    PAGING_BEATS_MBS_REAL,
     figure_bench,
     ssd_beats_fcfs,
 )

@@ -20,7 +20,7 @@ Invariants enforced (and property-tested):
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.mesh.busylist import BusyList
@@ -97,11 +97,19 @@ class Allocator(abc.ABC):
     #: True when allocation is guaranteed to succeed whenever
     #: ``free >= w*l`` (holds for Paging(0), MBS, GABL and Random).
     complete: bool = False
+    #: True when ``_allocate`` is a pure function of the grid and the
+    #: allocator's own state (everything except the randomised baseline).
+    #: Enables memoising failed requests per grid version: the head-of-
+    #: line job is re-attempted on every dispatch, so under load the same
+    #: doomed request is otherwise recomputed against an unchanged mesh.
+    deterministic: bool = True
 
     def __init__(self, width: int, length: int) -> None:
         self.grid = MeshGrid(width, length)
         self.busy_list = BusyList()
         self.stats = AllocatorStats()
+        self._failed_requests: set[tuple[int, int]] = set()
+        self._failed_version = -1
 
     # ------------------------------------------------------------------ API
     @property
@@ -124,9 +132,20 @@ class Allocator(abc.ABC):
         """
         self._validate_request(w, l)
         self.stats.attempts += 1
+        if self.deterministic:
+            version = self.grid.version
+            if version != self._failed_version:
+                self._failed_version = version
+                self._failed_requests.clear()
+            if (w, l) in self._failed_requests:
+                # same request against an unchanged mesh: same outcome
+                self.stats.failures += 1
+                return None
         allocation = self._allocate(job_id, w, l)
         if allocation is None:
             self.stats.failures += 1
+            if self.deterministic:
+                self._failed_requests.add((w, l))
             return None
         self.stats.successes += 1
         self.stats.fragments_sum += allocation.fragment_count
@@ -148,6 +167,8 @@ class Allocator(abc.ABC):
         self.grid.reset()
         self.busy_list = BusyList()
         self.stats = AllocatorStats()
+        self._failed_requests.clear()
+        self._failed_version = -1
 
     # ------------------------------------------------------------ internals
     @abc.abstractmethod

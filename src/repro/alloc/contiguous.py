@@ -16,6 +16,8 @@ the non-contiguous strategies eliminate.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.alloc.base import Allocation, Allocator
 from repro.mesh.geometry import SubMesh
 from repro.mesh.rectfind import all_suitable_bases, find_suitable_submesh
@@ -57,10 +59,11 @@ class BestFitAllocator(Allocator):
             shapes.append((l, w))
         best: SubMesh | None = None
         best_contact = -1
+        free = self.grid.free_mask()  # identical for every candidate
         for sw, sl in shapes:
             for base in all_suitable_bases(self.grid, sw, sl):
                 cand = SubMesh.from_base(base.x, base.y, sw, sl)
-                contact = self._boundary_contact(cand)
+                contact = self._boundary_contact(cand, free)
                 if contact > best_contact:
                     best_contact = contact
                     best = cand
@@ -71,23 +74,29 @@ class BestFitAllocator(Allocator):
             job_id=job_id, submeshes=(best,), coords=self._coords_of((best,))
         )
 
-    def _boundary_contact(self, s: SubMesh) -> int:
-        """Perimeter cells of ``s`` that touch busy processors or walls."""
+    def _boundary_contact(self, s: SubMesh, free: np.ndarray | None = None) -> int:
+        """Perimeter cells of ``s`` that touch busy processors or walls.
+
+        Each side contributes its full extent when flush against a mesh
+        wall, otherwise the count of busy cells in the adjacent row or
+        column strip of the free mask (no per-cell Python).  Pass the
+        current ``free`` mask when scoring many candidates of one grid
+        state.
+        """
         grid = self.grid
-        free = grid.free_mask()
+        if free is None:
+            free = grid.free_mask()
+        extents = (s.length, s.length, s.width, s.width)
+        strips = (
+            None if s.x1 == 0 else free[s.y1:s.y2 + 1, s.x1 - 1],
+            None if s.x2 == grid.width - 1 else free[s.y1:s.y2 + 1, s.x2 + 1],
+            None if s.y1 == 0 else free[s.y1 - 1, s.x1:s.x2 + 1],
+            None if s.y2 == grid.length - 1 else free[s.y2 + 1, s.x1:s.x2 + 1],
+        )
         contact = 0
-        # left and right columns
-        for y in range(s.y1, s.y2 + 1):
-            for x, outside in ((s.x1 - 1, s.x1 == 0), (s.x2 + 1, s.x2 == grid.width - 1)):
-                if outside:
-                    contact += 1
-                elif 0 <= x < grid.width and not free[y, x]:
-                    contact += 1
-        # bottom and top rows
-        for x in range(s.x1, s.x2 + 1):
-            for y, outside in ((s.y1 - 1, s.y1 == 0), (s.y2 + 1, s.y2 == grid.length - 1)):
-                if outside:
-                    contact += 1
-                elif 0 <= y < grid.length and not free[y, x]:
-                    contact += 1
+        for extent, strip in zip(extents, strips):
+            if strip is None:
+                contact += extent  # wall: every perimeter cell touches
+            else:
+                contact += extent - int(np.count_nonzero(strip))
         return contact

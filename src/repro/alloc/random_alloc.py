@@ -39,6 +39,9 @@ class RandomAllocator(Allocator):
 
     name = "Random"
     complete = True
+    #: allocation depends on RNG state, not only on the grid; keep the
+    #: base-class failure memo away from anything stochastic
+    deterministic = False
 
     def __init__(self, width: int, length: int, seed: int = 0) -> None:
         super().__init__(width, length)

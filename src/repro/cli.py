@@ -27,7 +27,8 @@ import sys
 import time
 from typing import Sequence
 
-from repro.core.config import PAPER_CONFIG
+from repro import __version__
+from repro.core.config import NETWORK_MODES, PAPER_CONFIG
 from repro.experiments.campaign import Campaign
 from repro.experiments.figures import FIGURES
 from repro.experiments.report import ascii_plot, format_figure, summarize_point
@@ -49,6 +50,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="figure ids (fig2..fig16), 'all', 'claims', 'point', or 'sweep'",
     )
     p.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+    )
+    p.add_argument(
         "--scale",
         choices=sorted(SCALES),
         default=None,
@@ -64,9 +70,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plot", action="store_true", help="add ASCII plots")
     p.add_argument(
         "--network-mode",
-        choices=("fast", "causal", "sfb"),
-        default="fast",
-        help="wormhole engine mode (see DESIGN.md 2.1)",
+        choices=NETWORK_MODES,
+        default=PAPER_CONFIG.network_mode,
+        help="network transport backend: batch (vectorised, default), "
+        "fast (bit-identical reference), causal (exact per-hop "
+        "arbitration) or sfb (single-flit-buffer wormhole)",
     )
     p.add_argument(
         "--topology",

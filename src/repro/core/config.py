@@ -8,8 +8,20 @@ messages per processor per job, all-to-all pattern.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any
+
+#: network timing engines selectable through :attr:`SimConfig.network_mode`
+#: (kept as a literal so the config layer does not import the network
+#: package; the registry in repro.network.backend is the source of truth)
+NETWORK_MODES = ("batch", "fast", "causal", "sfb")
+
+#: resolution of the dyadic simulation-time grid (ticks per time unit).
+#: Workloads snap arrival times onto it so that -- together with
+#: grid-exact timing constants -- every derived event time is an exact
+#: binary float, making all network backends bit-identical regardless
+#: of how their sums are associated (see repro.network.batch).
+TIME_GRID = 1024.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -25,6 +37,12 @@ class SimConfig:
     # --- interconnect (paper: wormhole switching, t_s = 3, P_len = 8)
     t_s: float = 3.0  #: router decision delay per node, time units
     p_len: int = 8  #: packet size in flits; links move one flit/time unit
+
+    # --- network transport backend (see repro.network.backend)
+    #: timing engine: "batch" (vectorised, the default), "fast" (the
+    #: bit-identical reference loop), "causal" (exact per-hop
+    #: arbitration) or "sfb" (single-flit-buffer wormhole)
+    network_mode: str = "batch"
 
     # --- traffic (paper: all-to-all, num_mes = 5)
     num_mes: float = 5.0  #: mean messages per processor per job
@@ -53,6 +71,11 @@ class SimConfig:
             raise ValueError("mesh dimensions must be positive")
         if self.topology not in ("mesh", "torus"):
             raise ValueError(f"unknown topology {self.topology!r}")
+        if self.network_mode not in NETWORK_MODES:
+            raise ValueError(
+                f"unknown network mode {self.network_mode!r}; "
+                f"choose from {NETWORK_MODES}"
+            )
         if self.t_s < 0:
             raise ValueError("t_s must be non-negative")
         if self.p_len < 1:

@@ -10,7 +10,7 @@ paper: "execution times of jobs are not simulator inputs").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.alloc.base import Allocation
 
@@ -79,3 +79,17 @@ class Job:
         self.packet_count += 1
         self.latency_sum += latency
         self.blocking_sum += blocking
+
+    def record_packets(
+        self, count: int, latency_sum: float, blocking_sum: float
+    ) -> None:
+        """Bulk-accumulate a whole launch's packet statistics.
+
+        Synchronous network backends resolve every packet of a launch at
+        once and report pre-reduced sums (one call per job instead of
+        one per packet); the per-job totals are identical to repeated
+        :meth:`record_packet` calls.
+        """
+        self.packet_count += count
+        self.latency_sum += latency_sum
+        self.blocking_sum += blocking_sum

@@ -10,14 +10,18 @@ The paper's five performance parameters (section 5):
 * **mean system utilization** -- time-weighted fraction of allocated
   processors.
 
-Packet statistics are accumulated per job while it runs and merged here on
-completion, so the warm-up exclusion treats a job and its packets
-atomically.
+Packet statistics are accumulated per job while it runs -- one
+:meth:`~repro.core.job.Job.record_packet` per delivery under the
+event-driven network backends, or a single bulk
+:meth:`~repro.core.job.Job.record_packets` per launch under the
+synchronous ones -- and merged here on completion, so the warm-up
+exclusion treats a job and its packets atomically regardless of how the
+samples were ingested.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.job import Job
 

@@ -25,9 +25,9 @@ from repro.core.engine import Engine
 from repro.core.events import Priority
 from repro.core.job import Job
 from repro.core.metrics import Metrics, RunResult
+from repro.network import make_backend
 from repro.network.topology import MeshTopology
 from repro.network.traffic import AllToAllTraffic
-from repro.network.wormhole import WormholeNetwork
 from repro.sched.policies import Scheduler
 from repro.workload.base import Workload
 
@@ -41,7 +41,7 @@ class Simulator:
         allocator: Allocator,
         scheduler: Scheduler,
         workload: Workload,
-        network_mode: str = "fast",
+        network_mode: str | None = None,
         seed: int | None = None,
         keep_jobs: bool = False,
     ) -> None:
@@ -58,12 +58,12 @@ class Simulator:
         self.topology = MeshTopology(
             config.width, config.length, wrap=config.topology == "torus"
         )
-        self.network = WormholeNetwork(
+        self.network = make_backend(
+            config.network_mode if network_mode is None else network_mode,
             self.topology,
             self.engine,
             t_s=config.t_s,
             p_len=config.p_len,
-            mode=network_mode,
         )
         self.traffic = AllToAllTraffic(
             self.network,

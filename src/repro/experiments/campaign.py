@@ -35,7 +35,7 @@ import json
 import os
 from concurrent import futures
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Protocol, Sequence
+from typing import Callable, Iterable, Protocol, Sequence
 
 from repro.alloc import make_allocator
 from repro.core.config import PAPER_CONFIG, SimConfig
@@ -166,13 +166,25 @@ class PointSpec:
     sched: str
     scale: Scale
     config: SimConfig = PAPER_CONFIG
-    network_mode: str = "fast"
+    #: network backend; ``None`` (the default) adopts the config's mode,
+    #: an explicit value overrides it
+    network_mode: str | None = None
     trace_source: str = "sdsc"  #: "sdsc" or an external-trace fingerprint
 
     def __post_init__(self) -> None:
-        if self.config.jobs != self.scale.jobs:
-            object.__setattr__(self, "config",
-                               self.config.with_(jobs=self.scale.jobs))
+        # normalise so equality/hashing/key() agree: the scale pins the
+        # job count, and the backend is resolved to ONE value carried by
+        # both the spec field and the stored config (it is part of the
+        # cache key; results from one backend must never alias another's)
+        if self.network_mode is None:
+            object.__setattr__(self, "network_mode", self.config.network_mode)
+        if (self.config.jobs != self.scale.jobs
+                or self.config.network_mode != self.network_mode):
+            object.__setattr__(
+                self, "config",
+                self.config.with_(jobs=self.scale.jobs,
+                                  network_mode=self.network_mode),
+            )
 
     @property
     def run_config(self) -> SimConfig:
@@ -356,7 +368,7 @@ class Campaign:
         fig_ids: Sequence[str],
         scale: str | Scale = "smoke",
         config: SimConfig = PAPER_CONFIG,
-        network_mode: str = "fast",
+        network_mode: str | None = None,
         trace: Sequence[TraceJob] | None = None,
     ) -> "Campaign":
         """The union of cells needed to regenerate ``fig_ids``.
@@ -388,7 +400,7 @@ class Campaign:
         scheds: Sequence[str],
         scale: str | Scale = "smoke",
         config: SimConfig = PAPER_CONFIG,
-        network_mode: str = "fast",
+        network_mode: str | None = None,
         trace: Sequence[TraceJob] | None = None,
     ) -> "Campaign":
         """A user-defined full-factorial grid sweep."""

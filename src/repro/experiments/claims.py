@@ -16,7 +16,7 @@ or from the shell: ``python -m repro claims --scale quick``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from repro.experiments.campaign import Campaign
@@ -212,7 +212,7 @@ CHECKS: Sequence[Callable[[Mapping[str, FigureResult]], ClaimResult]] = (
 
 
 def verify_all(
-    scale: str = "smoke", network_mode: str = "fast", jobs: int = 1
+    scale: str = "smoke", network_mode: str | None = None, jobs: int = 1
 ) -> ClaimReport:
     """Regenerate every figure and evaluate all paper claims.
 

@@ -68,7 +68,7 @@ def run_point(
     sched: str,
     scale: str | Scale = "smoke",
     config: SimConfig = PAPER_CONFIG,
-    network_mode: str = "fast",
+    network_mode: str | None = None,
     cache: ResultCache | None = None,
     trace: Sequence[TraceJob] | None = None,
     jobs: int = 1,
@@ -102,7 +102,7 @@ def run_figure(
     fig_id: str,
     scale: str = "smoke",
     config: SimConfig = PAPER_CONFIG,
-    network_mode: str = "fast",
+    network_mode: str | None = None,
     cache: ResultCache | None = None,
     trace: Sequence[TraceJob] | None = None,
     jobs: int = 1,

@@ -71,7 +71,8 @@ def _translate_legacy_key(key: str) -> str | None:
             # fields absent from the legacy key were defaults there
             "config": {
                 "width": int(width), "length": int(length),
-                "topology": topology, "t_s": float(t_s), "p_len": int(p_len),
+                "topology": topology, "network_mode": network_mode,
+                "t_s": float(t_s), "p_len": int(p_len),
                 "num_mes": float(num_mes), "max_messages": int(max_messages),
                 "trace_demand_multiplier": float(demand_mult),
                 "round_gap_factor": float(round_gap),

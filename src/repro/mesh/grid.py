@@ -26,7 +26,9 @@ FREE = -1
 class MeshGrid:
     """Occupancy grid of a ``width x length`` 2D mesh."""
 
-    __slots__ = ("width", "length", "_owner", "_free_count", "_version")
+    __slots__ = (
+        "width", "length", "_owner", "_free_count", "_version", "rect_scratch",
+    )
 
     def __init__(self, width: int, length: int) -> None:
         if width <= 0 or length <= 0:
@@ -36,6 +38,10 @@ class MeshGrid:
         self._owner = np.full((self.length, self.width), FREE, dtype=np.int32)
         self._free_count = self.width * self.length
         self._version = 0  # bumped on every mutation; used for cache invalidation
+        #: version-tagged scratch space owned by repro.mesh.rectfind (the
+        #: free-rectangle geometry derived from the current occupancy);
+        #: invalidated implicitly by the version counter
+        self.rect_scratch: dict | None = None
 
     # ------------------------------------------------------------------ state
     @property

@@ -11,15 +11,29 @@ Three queries drive every allocator in this repository:
 * *all suitable bases* -- every admissible base node (Best-Fit baseline).
 
 The suitability query is vectorised with a summed-area table (O(W*L) NumPy
-work); the largest-rectangle query uses the classic monotone-stack
-histogram sweep, which enumerates every *maximal* free rectangle, so a
-side/area-bounded optimum can be carved out of one of them (any free
-rectangle is contained in a maximal free rectangle).
+work); the bounded largest-rectangle query is vectorised over a column-
+height tensor.  Both queries run against *version-tagged scratch space*
+cached on the grid (``MeshGrid.rect_scratch``): the summed-area table,
+the column-height matrix and its width-erosion stack depend only on the
+occupancy state, so consecutive queries against an unchanged mesh -- the
+two orientations of a request, or the successive chunk searches of a
+GABL decomposition against each intermediate state -- reuse them instead
+of recomputing from the free mask.
+
+The bounded query considers every anchor ``(x, y, w)``: the tallest free
+column block of width ``w`` whose bottom row is ``y`` (the erosion
+tensor entry), carved down to the side/area bounds.  This evaluates the
+same candidate set as the classic monotone-stack sweep over maximal
+rectangles -- every maximal rectangle's carve is dominated by the anchor
+at its left edge, and every anchor's carve is dominated by the maximal
+rectangle of its exact height -- and the deterministic tie-break
+(largest area, then lowest base row, then lowest base column, then
+widest shape) is encoded into one integer key per anchor, so the argmax
+reproduces the stack sweep's choice exactly (oracle-tested against a
+reference implementation).
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -27,14 +41,35 @@ from repro.mesh.geometry import Coord, SubMesh
 from repro.mesh.grid import MeshGrid
 
 
-def _window_counts(free: np.ndarray, w: int, l: int) -> np.ndarray:
+def _scratch(grid: MeshGrid) -> dict:
+    """Version-tagged geometry scratch: rebuilt on occupancy change."""
+    cache = grid.rect_scratch
+    if cache is None or cache["version"] != grid.version:
+        cache = {"version": grid.version, "free": grid.free_mask(),
+                 "sat": None, "heights": None, "erosion": None}
+        grid.rect_scratch = cache
+    return cache
+
+
+def _sat(grid: MeshGrid) -> np.ndarray:
+    """Summed-area table of the free mask (cached per grid version)."""
+    cache = _scratch(grid)
+    sat = cache["sat"]
+    if sat is None:
+        free = cache["free"]
+        sat = np.zeros((free.shape[0] + 1, free.shape[1] + 1), dtype=np.int32)
+        np.cumsum(np.cumsum(free, axis=0), axis=1, out=sat[1:, 1:])
+        cache["sat"] = sat
+    return sat
+
+
+def _window_counts(grid: MeshGrid, w: int, l: int) -> np.ndarray:
     """Number of free processors in every ``w x l`` window.
 
     Returns an array of shape ``(L - l + 1, W - w + 1)`` whose ``[y, x]``
     entry counts free cells in the window based at ``(x, y)``.
     """
-    sat = np.zeros((free.shape[0] + 1, free.shape[1] + 1), dtype=np.int32)
-    np.cumsum(np.cumsum(free, axis=0), axis=1, out=sat[1:, 1:])
+    sat = _sat(grid)
     return sat[l:, w:] - sat[:-l, w:] - sat[l:, :-w] + sat[:-l, :-w]
 
 
@@ -48,11 +83,12 @@ def find_suitable_submesh(grid: MeshGrid, w: int, l: int) -> SubMesh | None:
         raise ValueError(f"request sides must be positive, got {w}x{l}")
     if w > grid.width or l > grid.length:
         return None
-    counts = _window_counts(grid.free_mask(), w, l)
-    hits = np.nonzero(counts == w * l)
-    if hits[0].size == 0:
+    counts = _window_counts(grid, w, l)
+    hits = counts == w * l
+    flat = int(np.argmax(hits))  # first True in row-major base order
+    if not hits.flat[flat]:
         return None
-    y, x = int(hits[0][0]), int(hits[1][0])
+    y, x = divmod(flat, hits.shape[1])
     return SubMesh.from_base(x, y, w, l)
 
 
@@ -62,57 +98,105 @@ def all_suitable_bases(grid: MeshGrid, w: int, l: int) -> list[Coord]:
         raise ValueError(f"request sides must be positive, got {w}x{l}")
     if w > grid.width or l > grid.length:
         return []
-    counts = _window_counts(grid.free_mask(), w, l)
+    counts = _window_counts(grid, w, l)
     ys, xs = np.nonzero(counts == w * l)
     return [Coord(int(x), int(y)) for y, x in zip(ys, xs)]
 
 
-@dataclass(frozen=True, slots=True)
-class _Candidate:
-    """A bounded sub-rectangle candidate with a deterministic sort key."""
+#: per-(width, length) constants of the packed tie-break key (see
+#: largest_free_rect_bounded): radices, the carve multiplier ``D`` and
+#: the position constant ``C``, all occupancy-independent
+_KEY_CONSTANTS: dict[tuple[int, int], dict] = {}
 
-    area: int
-    y: int
-    x: int
-    w: int
-    l: int
 
-    def better_than(self, other: "_Candidate | None") -> bool:
-        if other is None:
-            return True
-        # Larger area wins; ties broken towards the lowest base (row-major),
-        # then the wider shape, purely so results are reproducible.
-        return (self.area, -self.y, -self.x, self.w) > (
-            other.area,
-            -other.y,
-            -other.x,
-            other.w,
+def _key_constants(width: int, length: int) -> dict:
+    consts = _KEY_CONSTANTS.get((width, length))
+    if consts is None:
+        y_radix = length + 2
+        x_radix = width + 1
+        w_radix = width + 1
+        w_col = np.arange(1, width + 1, dtype=np.int64)[:, None, None]
+        x_term = np.arange(width, 0, -1, dtype=np.int64)[None, None, :]
+        consts = {
+            "y_radix": y_radix,
+            "xw_radix": x_radix * w_radix,
+            # key = area * D + y_term * (x_radix * w_radix) + C
+            "carve_mult": w_col * (y_radix * x_radix * w_radix),
+            "position": x_term * w_radix + w_col,
+        }
+        _KEY_CONSTANTS[(width, length)] = consts
+    return consts
+
+
+def _height_erosions(grid: MeshGrid, max_w: int) -> tuple[np.ndarray, np.ndarray]:
+    """Column-height tensor eroded to every width up to ``max_w``.
+
+    Entry ``[w - 1, y, x]`` is the tallest run of free rows ending at row
+    ``y`` across all of columns ``x .. x + w - 1`` -- i.e. the height of
+    the tallest free rectangle of width exactly spanning those columns
+    whose bottom row is ``y``.  Entries at ``x > W - w`` (bases whose
+    window leaves the mesh) are zero.  Cached per grid version and
+    extended lazily to wider widths on demand, together with the
+    matching slab of the packed tie-break key's base-position term.
+    """
+    cache = _scratch(grid)
+    heights = cache["heights"]
+    if heights is None:
+        free = cache["free"]
+        length, width = free.shape
+        rows = np.arange(length)[:, None]
+        # last busy row at or above each cell (-1 when none)
+        last_busy = np.maximum.accumulate(np.where(free, -1, rows), axis=0)
+        heights = (rows - last_busy) * free
+        cache["heights"] = heights
+        cache["erosion"] = np.zeros(
+            (width, length, width), dtype=np.int64
         )
-
-
-def _best_bounded_subrect(
-    span_w: int, span_l: int, max_w: int, max_l: int, max_area: int
-) -> tuple[int, int] | None:
-    """Largest ``w x l`` with ``w <= min(span_w, max_w)``,
-    ``l <= min(span_l, max_l)`` and ``w*l <= max_area``; ``None`` if no
-    positive-area shape fits."""
-    cap_w = min(span_w, max_w)
-    cap_l = min(span_l, max_l)
-    if cap_w <= 0 or cap_l <= 0 or max_area <= 0:
-        return None
-    best: tuple[int, int] | None = None
-    best_area = 0
-    ceiling = min(cap_w * cap_l, max_area)
-    for w in range(cap_w, 0, -1):
-        l = min(cap_l, max_area // w)
-        if l <= 0:
-            continue
-        if w * l > best_area:
-            best_area = w * l
-            best = (w, l)
-            if best_area == ceiling:
-                break  # cannot do better
-    return best
+        cache["erosion"][0] = heights
+        cache["key_base"] = np.zeros_like(cache["erosion"])
+        #: y_term = length - base_y = erosion + (length - 1 - row)
+        cache["y_offset"] = np.arange(
+            length - 1, -1, -1, dtype=np.int64
+        )[None, :, None]
+        consts = _key_constants(width, length)
+        np.multiply(
+            heights + cache["y_offset"][0], consts["xw_radix"],
+            out=cache["key_base"][0],
+        )
+        cache["key_base"][0] += consts["position"][0]
+        cache["erosion_built"] = 1
+        #: widths above this have no free block at all (None = unknown);
+        #: lets the query skip provably empty tensor slices
+        cache["max_block_width"] = 0 if not heights.any() else None
+    erosion = cache["erosion"]
+    key_base = cache["key_base"]
+    width = erosion.shape[0]
+    built = cache["erosion_built"]
+    block_cap = cache["max_block_width"]
+    consts = _key_constants(width, erosion.shape[1])
+    while built < max_w:
+        if block_cap is not None and built >= block_cap:
+            built = width  # remaining slices are all zero already
+            break
+        valid = width - built  # valid bases for width built + 1
+        np.minimum(
+            erosion[built - 1, :, :valid],
+            cache["heights"][:, built:],
+            out=erosion[built, :, :valid],
+        )
+        if not erosion[built].any():
+            block_cap = built
+            cache["max_block_width"] = block_cap
+            built = width
+            break
+        np.multiply(
+            erosion[built] + cache["y_offset"][0], consts["xw_radix"],
+            out=key_base[built],
+        )
+        key_base[built] += consts["position"][built]
+        built += 1
+    cache["erosion_built"] = built
+    return erosion, key_base
 
 
 def largest_free_rect_bounded(
@@ -123,50 +207,57 @@ def largest_free_rect_bounded(
 ) -> SubMesh | None:
     """Largest-area free sub-mesh with bounded sides and area.
 
-    Enumerates every maximal free rectangle with a monotone-stack histogram
-    sweep and carves the best admissible sub-rectangle out of each; the
-    chosen sub-rectangle is anchored at the bottom-left corner of its
-    maximal host so results are deterministic.
+    Evaluates, fully vectorised, every anchor ``(x, y, w)`` -- the
+    tallest free block of width ``w`` based at column ``x`` with bottom
+    row ``y`` -- carved down to the bounds, and takes the argmax of the
+    deterministic candidate key (area, then lowest base row, then lowest
+    base column, then widest shape).  The result is identical to carving
+    the best admissible sub-rectangle out of every maximal free
+    rectangle of a monotone-stack histogram sweep, the reference
+    implementation the oracle tests compare against.
 
     Returns ``None`` when no admissible rectangle exists (mesh full or a
     bound is non-positive).
     """
-    W, L = grid.width, grid.length
-    max_w = W if max_w is None else min(max_w, W)
-    max_l = L if max_l is None else min(max_l, L)
-    max_area = W * L if max_area is None else max_area
+    width, length = grid.width, grid.length
+    max_w = width if max_w is None else min(max_w, width)
+    max_l = length if max_l is None else min(max_l, length)
+    max_area = width * length if max_area is None else max_area
     if max_w <= 0 or max_l <= 0 or max_area <= 0:
         return None
+    max_w = min(max_w, max_area)  # a wider shape could not have area >= w
 
-    free = grid.free_mask()
-    heights = np.zeros(W, dtype=np.int64)
-    best: _Candidate | None = None
-
-    for y in range(L):
-        # running histogram: consecutive free cells in each column ending
-        # at row y (vectorised update)
-        heights = (heights + 1) * free[y]
-        hist = heights.tolist()
-        hist.append(0)  # sentinel flushes the stack
-        stack: list[tuple[int, int]] = []  # (leftmost column, height)
-        for x, h in enumerate(hist):
-            start = x
-            while stack and stack[-1][1] > h:
-                pos, height = stack.pop()
-                # maximal-width rectangle of this height ends at column x-1
-                shape = _best_bounded_subrect(x - pos, height, max_w, max_l, max_area)
-                if shape is not None:
-                    w, l = shape
-                    cand = _Candidate(w * l, y - height + 1, pos, w, l)
-                    if cand.better_than(best):
-                        best = cand
-                start = pos
-            if h > 0 and (not stack or stack[-1][1] < h):
-                stack.append((start, h))
-
-    if best is None:
+    full_erosion, full_key_base = _height_erosions(grid, max_w)
+    cache = grid.rect_scratch
+    block_cap = cache["max_block_width"]
+    if block_cap is not None:
+        if block_cap == 0:
+            return None  # mesh full
+        max_w = min(max_w, block_cap)
+    erosion = full_erosion[:max_w]
+    consts = _key_constants(width, length)
+    w_col = consts["carve_mult"][:max_w]  # w * (product of the radices)
+    # carve: the tallest block, clipped to the side and area bounds
+    caps = np.minimum(
+        max_l,
+        max_area // np.arange(1, max_w + 1, dtype=np.int64)[:, None, None],
+    )
+    carved = np.minimum(erosion, caps)
+    # tie-break key, packed so the flat argmax resolves (area, -base_y,
+    # -base_x, w) lexicographically; dimension-sized radices keep every
+    # component in range for any mesh.  The base-position term (row,
+    # column, width) is version-cached alongside the erosion tensor.
+    key = carved * w_col
+    key += full_key_base[:max_w]
+    flat = int(np.argmax(key))
+    w_idx, y, x = np.unravel_index(flat, key.shape)
+    best_l = int(carved[w_idx, y, x])
+    if best_l <= 0:
         return None
-    return SubMesh.from_base(best.x, best.y, best.w, best.l)
+    w = int(w_idx) + 1
+    return SubMesh.from_base(
+        int(x), int(y - erosion[w_idx, y, x] + 1), w, best_l
+    )
 
 
 def largest_free_rect(grid: MeshGrid) -> SubMesh | None:

@@ -4,20 +4,57 @@ Implements the paper's network model: XY dimension-ordered routing,
 ``t_s``-cycle router decisions, one flit per time unit per link,
 ``P_len``-flit packets, per-channel FIFO arbitration, and all-to-all
 job traffic (section 5).
+
+The timing engines live behind the pluggable transport-backend layer in
+:mod:`repro.network.backend`: ``fast`` (reference whole-path
+reservation), ``batch`` (vectorised, bit-identical to ``fast``, the
+default), ``causal`` (exact per-hop arbitration) and ``sfb``
+(single-flit-buffer wormhole).
 """
 
 from repro.network.topology import MeshTopology, Direction
-from repro.network.routing import xy_route, xy_route_nodes
-from repro.network.wormhole import WormholeNetwork, PathTiming
-from repro.network.traffic import AllToAllTraffic, destination_schedule
+from repro.network.routing import xy_route, xy_route_arrays, xy_route_nodes
+from repro.network.backend import (
+    NetworkBackend,
+    PathTiming,
+    RoundStats,
+    backend_modes,
+    make_backend,
+    register_backend,
+)
+from repro.network.wormhole import (
+    MODES,
+    CausalBackend,
+    FastBackend,
+    SFBBackend,
+    WormholeNetwork,
+)
+from repro.network.batch import BatchBackend
+from repro.network.traffic import (
+    AllToAllTraffic,
+    destination_offsets,
+    destination_schedule,
+)
 
 __all__ = [
     "MeshTopology",
     "Direction",
     "xy_route",
+    "xy_route_arrays",
     "xy_route_nodes",
-    "WormholeNetwork",
+    "NetworkBackend",
     "PathTiming",
+    "RoundStats",
+    "backend_modes",
+    "make_backend",
+    "register_backend",
+    "MODES",
+    "FastBackend",
+    "BatchBackend",
+    "CausalBackend",
+    "SFBBackend",
+    "WormholeNetwork",
     "AllToAllTraffic",
+    "destination_offsets",
     "destination_schedule",
 ]

@@ -1,0 +1,250 @@
+"""Optional compiled kernel for the batch backend's reservation loop.
+
+The channel-reservation recurrence is a strict sequential dependency
+chain (every packet's reservation depends on the channel state left by
+the previous one), which caps how much a vectorised implementation can
+win at typical job sizes.  When a C compiler is available, this module
+builds a ~30-line kernel that runs the exact same float64 recurrence as
+:meth:`repro.network.wormhole.FastBackend.transmit` over the flat route
+arrays prepared by :func:`repro.network.routing.xy_route_arrays`.
+
+The kernel is strictly optional: :mod:`repro.network.batch` falls back
+to its NumPy/pure-Python solvers (same results) when compilation is
+impossible.  Because the C code performs the identical IEEE-754
+operations in the identical order -- compiled with ``-ffp-contract=off``
+so no multiply-adds are fused -- its outputs are bit-identical to the
+reference engine.
+
+Set ``REPRO_NATIVE=0`` to disable compilation and dispatch entirely.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+_SOURCE = r"""
+#include <stdint.h>
+
+/* XY wormhole whole-path reservation, one packet at a time in exactly
+ * the order and arithmetic of the Python reference loop
+ * (repro.network.wormhole.FastBackend.transmit).
+ *
+ * The XY walk mirrors repro.network.routing: x first then y, each
+ * dimension taking the shorter way around on a torus with ties broken
+ * towards the positive direction.  Channel indices are node * 6 + dir
+ * with dir in {INJ=0, EJ=1, EAST=2, WEST=3, NORTH=4, SOUTH=5}.
+ */
+
+static int64_t dim_step(int64_t src, int64_t dst, int64_t size, int wrap,
+                        int64_t *count)
+{
+    if (dst == src) { *count = 0; return 1; }
+    if (!wrap) {
+        if (dst > src) { *count = dst - src; return 1; }
+        *count = src - dst;
+        return -1;
+    }
+    int64_t forward = (dst - src) % size;
+    if (forward < 0) forward += size;
+    int64_t backward = size - forward;
+    if (forward <= backward) { *count = forward; return 1; }
+    *count = backward;
+    return -1;
+}
+
+/* Reserve one channel: FIFO wait (added to *blk, the contention
+ * accumulator) exactly as the reference loop accrues it, stall by
+ * stall, so blocking sums stay bit-identical for any float config. */
+static double reserve(double *free_at, int64_t c, double t, double occ,
+                      double *blk)
+{
+    const double f = free_at[c];
+    if (f > t) {
+        *blk += f - t;
+        t = f;
+    }
+    free_at[c] = t + occ;
+    return t;
+}
+
+/* One packet: whole-path reservation src -> dst, injected at t0.
+ * Returns the ejection-channel service start; *t_inj_out gets the
+ * injection-channel service start, *blk_out the per-hop blocking sum. */
+static double transmit(const double t0, const int64_t src, const int64_t dst,
+                       double *free_at, const double hop, const double occ,
+                       const int64_t width, const int64_t length,
+                       const int32_t wrap, double *t_inj_out,
+                       double *blk_out)
+{
+    const int64_t sx = src % width, sy = src / width;
+    const int64_t dx = dst % width, dy = dst / width;
+    int64_t cx, cy;
+    const int64_t step_x = dim_step(sx, dx, width, wrap, &cx);
+    const int64_t step_y = dim_step(sy, dy, length, wrap, &cy);
+    /* injection: waiting here is source queueing, not blocking */
+    double f = free_at[src * 6];
+    double t = t0 >= f ? t0 : f;
+    free_at[src * 6] = t + occ;
+    *t_inj_out = t;
+    t += hop;
+    double blocking = 0.0;
+    const int64_t chan_dx = step_x > 0 ? 2 : 3;  /* EAST : WEST */
+    int64_t x = sx;
+    for (int64_t i = 0; i < cx; i++) {
+        t = reserve(free_at, (sy * width + x) * 6 + chan_dx, t, occ,
+                    &blocking) + hop;
+        x += step_x;
+        if (wrap) x = (x + width) % width;
+    }
+    const int64_t chan_dy = step_y > 0 ? 4 : 5;  /* NORTH : SOUTH */
+    int64_t y = sy;
+    for (int64_t i = 0; i < cy; i++) {
+        t = reserve(free_at, (y * width + dx) * 6 + chan_dy, t, occ,
+                    &blocking) + hop;
+        y += step_y;
+        if (wrap) y = (y + length) % length;
+    }
+    const double t_ej = reserve(free_at, dst * 6 + 1, t, occ, &blocking);
+    *blk_out = blocking;
+    return t_ej;
+}
+
+/* A whole launch: round r is the cyclic permutation i -> (i +
+ * offsets[r]) mod n over the node ids, injected at now + r * gap, in
+ * deterministic packet order.  Aggregates the per-packet statistics
+ * exactly as the reference engine does:
+ *
+ * out[0] += latency  (= t_eject + hop + drain - t_inject)
+ * out[1] += blocking (per-hop stall sum, injection wait excluded)
+ * out[2]  = completion time of the last packet (init by caller to now)
+ */
+void solve_rounds(const int64_t *ids, int64_t n, const int64_t *offsets,
+                  int64_t rounds, double now, double gap, double *free_at,
+                  double hop, double occ, double drain,
+                  int64_t width, int64_t length, int32_t wrap, double *out)
+{
+    for (int64_t r = 0; r < rounds; r++) {
+        const double t_round = now + (double)r * gap;
+        const int64_t offset = offsets[r];
+        for (int64_t i = 0; i < n; i++) {
+            double t_inj, blocking;
+            const double t_ej = transmit(t_round, ids[i],
+                                         ids[(i + offset) % n], free_at,
+                                         hop, occ, width, length, wrap,
+                                         &t_inj, &blocking);
+            const double t_deliver = t_ej + hop + drain;
+            out[0] += t_deliver - t_inj;
+            out[1] += blocking;
+            if (t_deliver > out[2])
+                out[2] = t_deliver;
+        }
+    }
+}
+"""
+
+_UNSET = object()
+_kernel = _UNSET
+
+
+def _compiler() -> str | None:
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def _cache_dir() -> Path | None:
+    """Private, owner-verified directory for the compiled kernel.
+
+    Prefers the XDG cache; falls back to a per-uid tmp directory.  The
+    directory is created mode 0700 and rejected unless it is owned by
+    the current user and group/world-unwritable -- a world-writable tmp
+    path that someone else pre-created must never be trusted as a
+    source of loadable code.
+    """
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    candidates = []
+    if xdg:
+        candidates.append(Path(xdg) / "repro-mesh")
+    home = Path.home()
+    if home != Path("/"):
+        candidates.append(home / ".cache" / "repro-mesh")
+    candidates.append(
+        Path(tempfile.gettempdir()) / f"repro-mesh-{os.getuid()}"
+    )
+    for cache_dir in candidates:
+        try:
+            cache_dir.mkdir(parents=True, exist_ok=True, mode=0o700)
+            info = os.stat(cache_dir)
+        except OSError:
+            continue
+        if info.st_uid == os.getuid() and not (info.st_mode & 0o022):
+            return cache_dir
+    return None
+
+
+def _build() -> ctypes.CDLL | None:
+    cc = _compiler()
+    if cc is None:
+        return None
+    cache_dir = _cache_dir()
+    if cache_dir is None:
+        return None
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    lib_path = cache_dir / f"reserve_{digest}.so"
+    if lib_path.is_file() and os.stat(lib_path).st_uid != os.getuid():
+        return None  # never load code we did not write
+    if not lib_path.is_file():
+        src = cache_dir / f"reserve_{digest}.c"
+        src.write_text(_SOURCE)
+        # unique temp output + atomic rename: concurrent workers may race
+        fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache_dir)
+        os.close(fd)
+        cmd = [cc, "-O2", "-fPIC", "-shared", "-ffp-contract=off",
+               str(src), "-o", tmp]
+        try:
+            subprocess.run(
+                cmd, check=True, capture_output=True, timeout=60
+            )
+            os.replace(tmp, lib_path)
+        except (OSError, subprocess.SubprocessError):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return None
+    try:
+        lib = ctypes.CDLL(str(lib_path))
+    except OSError:
+        return None
+    lib.solve_rounds.restype = None
+    lib.solve_rounds.argtypes = [
+        ctypes.c_void_p, ctypes.c_int64, ctypes.c_void_p, ctypes.c_int64,
+        ctypes.c_double, ctypes.c_double, ctypes.c_void_p,
+        ctypes.c_double, ctypes.c_double, ctypes.c_double,
+        ctypes.c_int64, ctypes.c_int64, ctypes.c_int32, ctypes.c_void_p,
+    ]
+    return lib
+
+
+def load_kernel() -> ctypes.CDLL | None:
+    """The compiled kernel, or ``None`` when unavailable (memoised)."""
+    global _kernel
+    if _kernel is _UNSET:
+        if os.environ.get("REPRO_NATIVE", "1") == "0":
+            _kernel = None
+        else:
+            _kernel = _build()
+    return _kernel
+
+
+def reset_kernel_cache() -> None:
+    """Forget the memoised kernel (tests toggling ``REPRO_NATIVE``)."""
+    global _kernel
+    _kernel = _UNSET

@@ -1,0 +1,186 @@
+"""Network transport-backend interface and registry.
+
+The wormhole timing model (DESIGN.md 2.1) is implemented by several
+interchangeable *backends* that share one arithmetic core -- the channel
+table, the ``PathTiming`` accounting and the FIFO reservation rule --
+but differ in how they execute it:
+
+* ``fast``    -- whole-path reservation, one Python loop per packet
+  (the reference engine; see :mod:`repro.network.wormhole`);
+* ``batch``   -- round-level vectorised reservation, metric-identical to
+  ``fast`` (see :mod:`repro.network.batch`);
+* ``causal``  -- one event per hop, exact FIFO-by-arrival arbitration;
+* ``sfb``     -- single-flit-buffer wormhole with chained channel holding.
+
+Backends come in two families.  *Synchronous* backends
+(``synchronous = True``) resolve a whole launch of traffic rounds at
+injection time through :meth:`NetworkBackend.inject_rounds` and return
+aggregate :class:`RoundStats`; *event-driven* backends deliver each
+packet through the engine via :meth:`NetworkBackend.send` callbacks.
+:class:`~repro.network.traffic.AllToAllTraffic` picks the path from the
+``synchronous`` flag, so new backends plug in without touching the
+traffic generator.
+
+Register implementations with :func:`register_backend`; construct them
+with :func:`make_backend` (the ``WormholeNetwork`` factory in
+:mod:`repro.network.wormhole` is a thin alias kept for compatibility).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Type
+
+from repro.core.engine import Engine
+from repro.mesh.geometry import Coord
+from repro.network.routing import xy_route
+from repro.network.topology import MeshTopology
+
+
+@dataclass(frozen=True, slots=True)
+class PathTiming:
+    """Outcome of transmitting one packet."""
+
+    t_inject: float  #: service start on the injection channel
+    t_deliver: float  #: last flit arrives at the destination processor
+    blocking: float  #: contention stall total (injection wait excluded)
+
+    @property
+    def latency(self) -> float:
+        """Paper's packet latency: injection to delivery."""
+        return self.t_deliver - self.t_inject
+
+
+@dataclass(frozen=True, slots=True)
+class RoundStats:
+    """Aggregate outcome of one job's traffic rounds (bulk ingestion)."""
+
+    packets: int  #: packets delivered
+    latency_sum: float  #: sum of per-packet latencies
+    blocking_sum: float  #: sum of per-packet blocking times
+    last_delivery: float  #: completion time of the final packet
+
+
+class NetworkBackend:
+    """Shared state and arithmetic of every transport backend.
+
+    Holds the channel reservation table (``free_at``), the static XY
+    route cache and the timing constants derived from ``t_s``/``p_len``:
+    ``hop_cost`` (header advance per channel), ``occupancy`` (channel
+    hold per packet) and ``drain`` (body drain after header ejection).
+    """
+
+    #: registry name; set by subclasses
+    mode: str = "abstract"
+    #: True -> ``inject_rounds`` resolves a launch immediately;
+    #: False -> packets travel event-driven through ``send``
+    synchronous: bool = True
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        engine: Engine,
+        t_s: float = 3.0,
+        p_len: int = 8,
+    ) -> None:
+        self.topology = topology
+        self.engine = engine
+        self.t_s = float(t_s)
+        self.p_len = int(p_len)
+        self.hop_cost = self.t_s + 1.0  #: header advance per channel
+        self.occupancy = float(p_len)  #: channel hold per packet
+        self.drain = float(p_len - 1)  #: body drain after header ejection
+        self.free_at: list[float] = [0.0] * topology.channel_count
+        self.packets_sent = 0
+        #: XY routes are static; cache them keyed by (src, dst) node pair
+        self._route_cache: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------- routing
+    def _route(self, src: Coord, dst: Coord) -> list[int]:
+        key = (src.y * self.topology.width + src.x) * self.topology.node_count + (
+            dst.y * self.topology.width + dst.x
+        )
+        path = self._route_cache.get(key)
+        if path is None:
+            path = xy_route(self.topology, src, dst)
+            self._route_cache[key] = path
+        return path
+
+    # ------------------------------------------------------------ traffic
+    def transmit(self, src: Coord, dst: Coord, now: float) -> PathTiming:
+        """Synchronously transmit one packet (synchronous backends only)."""
+        raise NotImplementedError(
+            f"{self.mode!r} backend does not support synchronous transmit"
+        )
+
+    def send(
+        self,
+        src: Coord,
+        dst: Coord,
+        now: float,
+        on_delivered: Callable[[PathTiming], None],
+    ) -> None:
+        """Transmit one packet event-driven (event-driven backends only)."""
+        raise NotImplementedError(
+            f"{self.mode!r} backend does not support event-driven send"
+        )
+
+    def inject_rounds(
+        self,
+        coords: Sequence[Coord],
+        offsets: Sequence[int],
+        now: float,
+        round_gap: float,
+    ) -> RoundStats:
+        """Inject one job's full traffic: round ``r`` (the cyclic
+        permutation ``i -> (i + offsets[r]) mod n`` over ``coords``) is
+        injected at ``now + r * round_gap``, every processor sending one
+        packet per round.  Returns the aggregate packet statistics
+        (synchronous backends only)."""
+        raise NotImplementedError(
+            f"{self.mode!r} backend does not support round injection"
+        )
+
+    # ------------------------------------------------------------- control
+    def reset(self) -> None:
+        """Clear all channel reservations (between replications)."""
+        self.free_at = [0.0] * self.topology.channel_count
+        self.packets_sent = 0
+
+    def base_latency(self, hops: int) -> float:
+        """Uncontended latency of an ``hops``-link route."""
+        return (hops + 2) * self.hop_cost + self.drain
+
+
+#: mode name -> backend class
+BACKENDS: dict[str, Type[NetworkBackend]] = {}
+
+
+def register_backend(cls: Type[NetworkBackend]) -> Type[NetworkBackend]:
+    """Class decorator: add a backend implementation to the registry."""
+    if cls.mode in BACKENDS:
+        raise ValueError(f"duplicate network backend {cls.mode!r}")
+    BACKENDS[cls.mode] = cls
+    return cls
+
+
+def backend_modes() -> tuple[str, ...]:
+    """Registered backend names, reference modes first."""
+    return tuple(BACKENDS)
+
+
+def make_backend(
+    mode: str,
+    topology: MeshTopology,
+    engine: Engine,
+    t_s: float = 3.0,
+    p_len: int = 8,
+) -> NetworkBackend:
+    """Instantiate the backend registered under ``mode``."""
+    try:
+        cls = BACKENDS[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown network mode {mode!r}; choose from {tuple(BACKENDS)}"
+        ) from None
+    return cls(topology, engine, t_s=t_s, p_len=p_len)

@@ -1,4 +1,4 @@
-"""Event-driven wormhole network engine.
+"""Event-driven wormhole network engines.
 
 Timing model (DESIGN.md section 2.1).  A packet of ``P_len`` flits
 crossing channel ``c`` at service start ``s``:
@@ -19,16 +19,19 @@ Uncontended end-to-end latency for an ``h``-hop route is therefore
 ``(h + 2) * (t_s + 1) + P_len - 1`` (the ``+2`` are the injection and
 ejection channels) -- asserted by the unit tests.
 
-Three execution modes share this arithmetic:
+Four backends share this arithmetic (see :mod:`repro.network.backend`):
 
-* ``fast`` (default) -- the entire path is reserved when the packet is
-  injected; one pure-Python loop per packet and a single completion event
-  per job.  Within a burst of simultaneous injections, channel grants
-  follow reservation order rather than physical header-arrival order;
-  with time-staggered injections the two orders coincide exactly, and
-  under synchronized bursts fast mode is conservative (over-reports
-  contention) while preserving strategy rankings (validated by
-  ``bench_abl_network_mode``).
+* ``fast`` -- the entire path is reserved when the packet is injected;
+  one pure-Python loop per packet and a single completion event per job.
+  Within a burst of simultaneous injections, channel grants follow
+  reservation order rather than physical header-arrival order; with
+  time-staggered injections the two orders coincide exactly (property-
+  tested in ``test_network_properties``), and under synchronized bursts
+  fast mode is conservative (over-reports contention) while preserving
+  strategy rankings (validated by ``bench_abl_network_mode``).
+* ``batch`` (:mod:`repro.network.batch`, the default) -- the same
+  reservation discipline resolved a traffic round at a time with
+  vectorised routes and per-channel grouping; bit-identical to ``fast``.
 * ``causal`` -- one event per hop; channels are reserved exactly when the
   header reaches them, giving exact FIFO-by-arrival arbitration.  Both
   of the above correspond to wormhole switching with buffers deep enough
@@ -45,96 +48,32 @@ Three execution modes share this arithmetic:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.core.engine import Engine
 from repro.core.events import Priority
 from repro.mesh.geometry import Coord
-from repro.network.routing import xy_route
+from repro.network.backend import (
+    BACKENDS,
+    NetworkBackend,
+    PathTiming,
+    RoundStats,
+    register_backend,
+)
 from repro.network.topology import MeshTopology
 
-
-@dataclass(frozen=True, slots=True)
-class PathTiming:
-    """Outcome of transmitting one packet."""
-
-    t_inject: float  #: service start on the injection channel
-    t_deliver: float  #: last flit arrives at the destination processor
-    blocking: float  #: contention stall total (injection wait excluded)
-
-    @property
-    def latency(self) -> float:
-        """Paper's packet latency: injection to delivery."""
-        return self.t_deliver - self.t_inject
+__all__ = ["PathTiming", "WormholeNetwork", "FastBackend", "CausalBackend",
+           "SFBBackend", "MODES"]
 
 
-class WormholeNetwork:
-    """Channel-state container + transmission primitives."""
+@register_backend
+class FastBackend(NetworkBackend):
+    """Whole-path reservation at injection time (the reference engine)."""
 
-    __slots__ = (
-        "topology",
-        "engine",
-        "t_s",
-        "p_len",
-        "hop_cost",
-        "occupancy",
-        "drain",
-        "free_at",
-        "packets_sent",
-        "mode",
-        "_route_cache",
-        "_holder",
-        "_waiters",
-    )
+    mode = "fast"
+    synchronous = True
 
-    MODES = ("fast", "causal", "sfb")
-
-    def __init__(
-        self,
-        topology: MeshTopology,
-        engine: Engine,
-        t_s: float = 3.0,
-        p_len: int = 8,
-        mode: str = "fast",
-    ) -> None:
-        if mode not in self.MODES:
-            raise ValueError(f"unknown network mode {mode!r}; choose from {self.MODES}")
-        if mode == "sfb" and topology.wrap:
-            raise ValueError(
-                "sfb (hold-and-wait wormhole) deadlocks on torus topologies; "
-                "use fast or causal mode"
-            )
-        self.topology = topology
-        self.engine = engine
-        self.t_s = float(t_s)
-        self.p_len = int(p_len)
-        self.hop_cost = self.t_s + 1.0  #: header advance per channel
-        self.occupancy = float(p_len)  #: channel hold per packet
-        self.drain = float(p_len - 1)  #: body drain after header ejection
-        self.free_at: list[float] = [0.0] * topology.channel_count
-        self.packets_sent = 0
-        self.mode = mode
-        #: XY routes are static; cache them keyed by (src, dst) node pair
-        self._route_cache: dict[int, list[int]] = {}
-        # sfb-mode state: current holder and FIFO waiters per channel
-        self._holder: list["_SFBWorm | None"] = []
-        self._waiters: list[deque | None] = []
-        if mode == "sfb":
-            self._holder = [None] * topology.channel_count
-            self._waiters = [None] * topology.channel_count
-
-    def _route(self, src: Coord, dst: Coord) -> list[int]:
-        key = (src.y * self.topology.width + src.x) * self.topology.node_count + (
-            dst.y * self.topology.width + dst.x
-        )
-        path = self._route_cache.get(key)
-        if path is None:
-            path = xy_route(self.topology, src, dst)
-            self._route_cache[key] = path
-        return path
-
-    # ----------------------------------------------------------- fast mode
+    # ------------------------------------------------------------ transmit
     def transmit(self, src: Coord, dst: Coord, now: float) -> PathTiming:
         """Reserve the whole XY path at once and return its timing.
 
@@ -162,7 +101,45 @@ class WormholeNetwork:
         self.packets_sent += 1
         return PathTiming(t_inject=t_inject, t_deliver=t + self.drain, blocking=blocking)
 
-    # --------------------------------------------------------- causal mode
+    # -------------------------------------------------------- round launch
+    def inject_rounds(
+        self,
+        coords: Sequence[Coord],
+        offsets: Sequence[int],
+        now: float,
+        round_gap: float,
+    ) -> RoundStats:
+        """Reserve every round's packets in deterministic order."""
+        n = len(coords)
+        transmit = self.transmit
+        packets = 0
+        latency_sum = 0.0
+        blocking_sum = 0.0
+        last_delivery = now
+        for r, offset in enumerate(offsets):
+            t_round = now + r * round_gap
+            for i in range(n):
+                timing = transmit(coords[i], coords[(i + offset) % n], t_round)
+                packets += 1
+                latency_sum += timing.latency
+                blocking_sum += timing.blocking
+                if timing.t_deliver > last_delivery:
+                    last_delivery = timing.t_deliver
+        return RoundStats(
+            packets=packets,
+            latency_sum=latency_sum,
+            blocking_sum=blocking_sum,
+            last_delivery=last_delivery,
+        )
+
+
+@register_backend
+class CausalBackend(NetworkBackend):
+    """One event per hop: exact FIFO-by-arrival channel arbitration."""
+
+    mode = "causal"
+    synchronous = False
+
     def send(
         self,
         src: Coord,
@@ -170,13 +147,7 @@ class WormholeNetwork:
         now: float,
         on_delivered: Callable[[PathTiming], None],
     ) -> None:
-        """Transmit event-driven (``causal`` or ``sfb`` semantics)."""
         self.packets_sent += 1
-        if self.mode == "sfb":
-            worm = _SFBWorm(path=self._route(src, dst), on_delivered=on_delivered)
-            worm.t = now
-            self._sfb_advance(worm)
-            return
         packet = _Packet(path=self._route(src, dst), on_delivered=on_delivered)
         self._hop(packet, now)
 
@@ -212,8 +183,44 @@ class WormholeNetwork:
             )
         )
 
-    # ------------------------------------------------------------ sfb mode
-    def _sfb_advance(self, worm: "_SFBWorm") -> None:
+
+@register_backend
+class SFBBackend(NetworkBackend):
+    """Single-flit-buffer wormhole: worms hold their body channels."""
+
+    mode = "sfb"
+    synchronous = False
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        engine: Engine,
+        t_s: float = 3.0,
+        p_len: int = 8,
+    ) -> None:
+        if topology.wrap:
+            raise ValueError(
+                "sfb (hold-and-wait wormhole) deadlocks on torus topologies; "
+                "use fast, batch or causal mode"
+            )
+        super().__init__(topology, engine, t_s=t_s, p_len=p_len)
+        # current holder and FIFO waiters per channel
+        self._holder: list["_SFBWorm | None"] = [None] * topology.channel_count
+        self._waiters: list[deque | None] = [None] * topology.channel_count
+
+    def send(
+        self,
+        src: Coord,
+        dst: Coord,
+        now: float,
+        on_delivered: Callable[[PathTiming], None],
+    ) -> None:
+        self.packets_sent += 1
+        worm = _SFBWorm(path=self._route(src, dst), on_delivered=on_delivered)
+        worm.t = now
+        self._advance(worm)
+
+    def _advance(self, worm: "_SFBWorm") -> None:
         """Advance the header, holding the trailing body channels.
 
         The worm's body spans at most ``P_len`` channels (one flit
@@ -244,16 +251,16 @@ class WormholeNetwork:
             if worm.idx > body_span:
                 # tail compresses forward: the channel body_span behind
                 # the header drains as the header starts this crossing
-                self._sfb_release(path[worm.idx - 1 - body_span], start)
-        self._sfb_deliver(worm)
+                self._release(path[worm.idx - 1 - body_span], start)
+        self._deliver(worm)
 
-    def _sfb_deliver(self, worm: "_SFBWorm") -> None:
+    def _deliver(self, worm: "_SFBWorm") -> None:
         t_deliver = worm.t + self.drain
         path = worm.path
         last = len(path) - 1
         # remaining held channels drain at one flit per time unit
         for i in range(max(0, len(path) - self.p_len), len(path)):
-            self._sfb_release(path[i], t_deliver - (last - i))
+            self._release(path[i], t_deliver - (last - i))
         # the advance loop may run ahead of the clock (future channel
         # reservations), so completion must be delivered as an event at
         # the actual arrival time
@@ -268,18 +275,18 @@ class WormholeNetwork:
             priority=Priority.NETWORK,
         )
 
-    def _sfb_release(self, c: int, at: float) -> None:
+    def _release(self, c: int, at: float) -> None:
         waiters = self._waiters[c]
         if waiters:
             at = max(at, self.engine.now)
             self.engine.schedule_at(
-                at, self._sfb_grant, c, priority=Priority.NETWORK
+                at, self._grant, c, priority=Priority.NETWORK
             )
         else:
             self._holder[c] = None
             self.free_at[c] = at
 
-    def _sfb_grant(self, c: int) -> None:
+    def _grant(self, c: int) -> None:
         waiters = self._waiters[c]
         assert waiters, "grant fired on a channel without waiters"
         worm: _SFBWorm = waiters.popleft()
@@ -292,8 +299,8 @@ class WormholeNetwork:
         worm.t = now + self.hop_cost
         worm.idx += 1
         if worm.idx > self.p_len:
-            self._sfb_release(worm.path[worm.idx - 1 - self.p_len], now)
-        self._sfb_advance(worm)
+            self._release(worm.path[worm.idx - 1 - self.p_len], now)
+        self._advance(worm)
 
     def _waiters_at(self, c: int) -> deque:
         w = self._waiters[c]
@@ -302,18 +309,36 @@ class WormholeNetwork:
             self._waiters[c] = w
         return w
 
-    # ------------------------------------------------------------- control
     def reset(self) -> None:
-        """Clear all channel reservations (between replications)."""
-        self.free_at = [0.0] * self.topology.channel_count
-        self.packets_sent = 0
-        if self.mode == "sfb":
-            self._holder = [None] * self.topology.channel_count
-            self._waiters = [None] * self.topology.channel_count
+        super().reset()
+        self._holder = [None] * self.topology.channel_count
+        self._waiters = [None] * self.topology.channel_count
 
-    def base_latency(self, hops: int) -> float:
-        """Uncontended latency of an ``hops``-link route."""
-        return (hops + 2) * self.hop_cost + self.drain
+
+#: registered engine names (batch registers on package import)
+MODES = ("fast", "batch", "causal", "sfb")
+
+
+def WormholeNetwork(
+    topology: MeshTopology,
+    engine: Engine,
+    t_s: float = 3.0,
+    p_len: int = 8,
+    mode: str = "fast",
+) -> NetworkBackend:
+    """Build the wormhole engine registered under ``mode``.
+
+    Kept as a factory with the historical constructor signature; the
+    returned object is a :class:`~repro.network.backend.NetworkBackend`.
+    """
+    from repro.network import batch  # noqa: F401  (registers "batch")
+
+    cls = BACKENDS.get(mode)
+    if cls is None:
+        raise ValueError(
+            f"unknown network mode {mode!r}; choose from {MODES}"
+        )
+    return cls(topology, engine, t_s=t_s, p_len=p_len)
 
 
 class _Packet:

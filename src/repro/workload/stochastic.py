@@ -19,7 +19,7 @@ import numpy as np
 from repro.core.config import SimConfig
 from repro.core.job import Job
 from repro.mesh.geometry import clip_side
-from repro.workload.base import Workload
+from repro.workload.base import Workload, quantize_time
 
 SIDE_DISTRIBUTIONS = ("uniform", "exponential")
 
@@ -60,7 +60,7 @@ class StochasticWorkload(Workload):
             k = min(k, cfg.max_messages)
             yield Job(
                 job_id=job_id,
-                arrival_time=t,
+                arrival_time=quantize_time(t),
                 width=w,
                 length=l,
                 messages=k,

@@ -35,7 +35,7 @@ import numpy as np
 from repro.core.config import SimConfig
 from repro.core.job import Job
 from repro.mesh.geometry import shape_for_size
-from repro.workload.base import Workload
+from repro.workload.base import Workload, quantize_time
 
 
 @dataclass(frozen=True, slots=True)
@@ -142,7 +142,7 @@ class TraceWorkload(Workload):
         t0 = self.trace[0].arrival
         prev = 0.0
         for i, (tj, k) in enumerate(zip(self.trace, self._messages), start=1):
-            arrival = (tj.arrival - t0) * self.factor
+            arrival = quantize_time((tj.arrival - t0) * self.factor)
             prev = self._check_monotone(prev, arrival)
             size = min(tj.size, cfg.processors)
             w, l = shape_for_size(size, cfg.width, cfg.length)

@@ -1,6 +1,5 @@
 """Unit tests for ANCA (Adaptive Non-Contiguous Allocation, ref [4])."""
 
-import pytest
 
 from repro.alloc.anca import ANCAAllocator
 from repro.mesh.geometry import Coord, SubMesh

@@ -6,7 +6,7 @@ from repro.alloc import ALLOCATORS, make_allocator
 from repro.alloc.base import Allocation, AllocatorStats
 from repro.alloc.gabl import GABLAllocator
 from repro.alloc.paging import PagingAllocator
-from repro.mesh.geometry import Coord, SubMesh
+from repro.mesh.geometry import SubMesh
 
 
 class TestFactory:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.alloc.mbs import MBSAllocator, base4_digits, cover_with_squares
-from repro.mesh.geometry import SubMesh
 from repro.mesh.grid import submeshes_disjoint
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the Random scatter baseline."""
 
-import pytest
 
 from repro.alloc.random_alloc import RandomAllocator, merge_unit_runs
 from repro.mesh.geometry import Coord, SubMesh

@@ -65,3 +65,21 @@ def test_swf_option(tmp_path, capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "loaded 40 jobs" in out
+
+
+def test_version_flag(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert repro.__version__ in capsys.readouterr().out
+
+
+def test_network_mode_choices_include_batch(capsys):
+    rc = main([
+        "point", "--workload", "uniform", "--load", "0.02",
+        "--network-mode", "batch", "--scale", "smoke",
+    ])
+    assert rc == 0
+    assert "turnaround=" in capsys.readouterr().out

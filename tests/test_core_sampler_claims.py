@@ -4,7 +4,7 @@ import pytest
 
 from repro.alloc import make_allocator
 from repro.core.config import SimConfig
-from repro.core.sampler import Sample, StateSampler
+from repro.core.sampler import StateSampler
 from repro.core.simulator import Simulator
 from repro.experiments.claims import (
     CHECKS,

@@ -1,0 +1,128 @@
+"""Oracle test: the vectorised bounded-rectangle query must reproduce
+the monotone-stack histogram sweep it replaced, choice-for-choice.
+
+The reference below is the pre-vectorisation implementation (enumerate
+every maximal free rectangle, carve the best bounded sub-rectangle out
+of each, tie-break by (area, -base_y, -base_x, w)).  The production
+query evaluates anchors instead of maximal rectangles; the two
+candidate sets dominate each other, so the argmax must be identical --
+this suite fuzzes that equivalence across densities, bounds and the
+version-cache reuse pattern of a GABL decomposition.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mesh.geometry import Coord, SubMesh
+from repro.mesh.grid import MeshGrid
+from repro.mesh.rectfind import largest_free_rect_bounded
+
+
+def reference_sweep(grid, max_w=None, max_l=None, max_area=None):
+    """The original monotone-stack implementation (the oracle)."""
+    W, L = grid.width, grid.length
+    max_w = W if max_w is None else min(max_w, W)
+    max_l = L if max_l is None else min(max_l, L)
+    max_area = W * L if max_area is None else max_area
+    if max_w <= 0 or max_l <= 0 or max_area <= 0:
+        return None
+    free = grid.free_mask()
+    heights = np.zeros(W, dtype=np.int64)
+    best = None
+
+    def carve(span_w, span_l):
+        cap_w, cap_l = min(span_w, max_w), min(span_l, max_l)
+        if cap_w <= 0 or cap_l <= 0 or max_area <= 0:
+            return None
+        shape, best_a = None, 0
+        ceiling = min(cap_w * cap_l, max_area)
+        for w in range(cap_w, 0, -1):
+            l = min(cap_l, max_area // w)
+            if l <= 0:
+                continue
+            if w * l > best_a:
+                best_a, shape = w * l, (w, l)
+                if best_a == ceiling:
+                    break
+        return shape
+
+    for y in range(L):
+        heights = (heights + 1) * free[y]
+        hist = heights.tolist()
+        hist.append(0)
+        stack = []
+        for x, h in enumerate(hist):
+            start = x
+            while stack and stack[-1][1] > h:
+                pos, height = stack.pop()
+                shape = carve(x - pos, height)
+                if shape is not None:
+                    w, l = shape
+                    cand = (w * l, y - height + 1, pos, w, l)
+                    if best is None or (
+                        (cand[0], -cand[1], -cand[2], cand[3])
+                        > (best[0], -best[1], -best[2], best[3])
+                    ):
+                        best = cand
+                start = pos
+            if h > 0 and (not stack or stack[-1][1] < h):
+                stack.append((start, h))
+    if best is None:
+        return None
+    return SubMesh.from_base(best[2], best[1], best[3], best[4])
+
+
+def random_grid(rng, width, length, density) -> MeshGrid:
+    grid = MeshGrid(width, length)
+    busy = rng.random((length, width)) < density
+    coords = [Coord(int(x), int(y)) for y, x in zip(*np.nonzero(busy))]
+    if coords:
+        grid.allocate_nodes(coords, 1)
+    return grid
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_matches_reference_on_random_grids(seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(25):
+        width = int(rng.integers(1, 18))
+        length = int(rng.integers(1, 24))
+        grid = random_grid(rng, width, length, rng.uniform(0, 1.05))
+        for _ in range(4):
+            max_w = int(rng.integers(0, width + 3)) or None
+            max_l = int(rng.integers(0, length + 3)) or None
+            max_area = int(rng.integers(0, width * length + 3)) or None
+            assert largest_free_rect_bounded(
+                grid, max_w, max_l, max_area
+            ) == reference_sweep(grid, max_w, max_l, max_area), (
+                max_w, max_l, max_area, grid.ascii_art()
+            )
+        assert largest_free_rect_bounded(grid) == reference_sweep(grid)
+
+
+def test_decomposition_pattern_reuses_version_cache():
+    """Interleave queries and mutations exactly like a GABL decompose:
+    the version-tagged scratch must never serve stale geometry."""
+    rng = np.random.default_rng(1234)
+    grid = random_grid(rng, 16, 22, 0.45)
+    for _ in range(30):
+        bound_w = int(rng.integers(1, 17))
+        bound_l = int(rng.integers(1, 23))
+        area = int(rng.integers(1, 60))
+        expect = reference_sweep(grid, bound_w, bound_l, area)
+        got = largest_free_rect_bounded(grid, bound_w, bound_l, area)
+        assert got == expect
+        if got is not None:
+            grid.allocate_submesh(got, 7)  # mutate: version bump
+        elif grid.free_count < grid.size:
+            # free everything and continue fuzzing from a fresh board
+            grid.reset()
+
+
+def test_full_and_empty_meshes():
+    grid = MeshGrid(5, 7)
+    assert largest_free_rect_bounded(grid) == SubMesh.from_base(0, 0, 5, 7)
+    grid.allocate_submesh(SubMesh(0, 0, 4, 6), 1)
+    assert largest_free_rect_bounded(grid) is None
+    assert largest_free_rect_bounded(MeshGrid(3, 3), max_area=0) is None
+    assert largest_free_rect_bounded(MeshGrid(3, 3), max_w=0) is None

@@ -1,0 +1,162 @@
+"""The ``batch`` backend must be bit-identical to the ``fast`` reference.
+
+The acceptance bar for the vectorised transport backend: identical
+``RunResult`` metrics -- exact float equality, not approximate -- across
+stochastic and trace workloads, multiple seeds, multiple allocators,
+mesh and torus, through every solver engine the backend can dispatch to
+(compiled kernel, NumPy fixed-point solver, plain Python loop).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.alloc import make_allocator
+from repro.core.config import SimConfig
+from repro.core.engine import Engine
+from repro.core.simulator import Simulator
+from repro.experiments.campaign import Scale, make_workload
+from repro.mesh.geometry import Coord
+from repro.network import _native
+from repro.network.backend import make_backend
+from repro.network.batch import BatchBackend
+from repro.network.topology import MeshTopology
+from repro.network.traffic import destination_offsets
+from repro.sched import make_scheduler
+
+SMALL = SimConfig(width=8, length=8, jobs=40, seed=3)
+TRACE_SCALE = Scale("eq", jobs=40, min_replications=1, max_replications=1,
+                    trace_max_jobs=200)
+
+
+def run_sim(config: SimConfig, mode: str, workload: str, seed: int,
+            alloc: str = "GABL"):
+    sim = Simulator(
+        config,
+        make_allocator(alloc, config.width, config.length),
+        make_scheduler("FCFS"),
+        make_workload(workload, config, 0.02, TRACE_SCALE),
+        network_mode=mode,
+        seed=seed,
+    )
+    return sim.run()
+
+
+def assert_identical(a, b) -> None:
+    diffs = [
+        f.name
+        for f in dataclasses.fields(a)
+        if getattr(a, f.name) != getattr(b, f.name)
+    ]
+    assert not diffs, f"metrics differ: {diffs}"
+
+
+class TestRunLevelEquivalence:
+    @pytest.mark.parametrize("workload", ["uniform", "exponential", "real"])
+    @pytest.mark.parametrize("seed", [3, 77])
+    def test_batch_equals_fast(self, workload, seed):
+        fast = run_sim(SMALL, "fast", workload, seed)
+        batch = run_sim(SMALL, "batch", workload, seed)
+        assert_identical(fast, batch)
+        assert fast.packets_delivered > 0
+
+    @pytest.mark.parametrize("alloc", ["MBS", "Paging(0)"])
+    def test_batch_equals_fast_other_allocators(self, alloc):
+        fast = run_sim(SMALL, "fast", "uniform", 11, alloc=alloc)
+        batch = run_sim(SMALL, "batch", "uniform", 11, alloc=alloc)
+        assert_identical(fast, batch)
+
+    def test_batch_equals_fast_on_torus(self):
+        cfg = SMALL.with_(topology="torus")
+        assert_identical(
+            run_sim(cfg, "fast", "uniform", 5),
+            run_sim(cfg, "batch", "uniform", 5),
+        )
+
+    def test_paper_mesh_real_workload(self):
+        cfg = SimConfig(jobs=60, seed=9)  # the paper's 16x22 machine
+        assert_identical(
+            run_sim(cfg, "fast", "real", 9),
+            run_sim(cfg, "batch", "real", 9),
+        )
+
+    @pytest.mark.parametrize("native", [True, False])
+    def test_non_dyadic_timing_constants(self, native, monkeypatch):
+        """A t_s off the dyadic grid (0.3 is not exactly representable)
+        must not break bit-identity: the kernel and the reference loop
+        share the exact operation order, and the NumPy solver -- whose
+        reassociated arithmetic would drift -- refuses to dispatch."""
+        if not native:
+            monkeypatch.setenv("REPRO_NATIVE", "0")
+            _native.reset_kernel_cache()
+        try:
+            cfg = SMALL.with_(t_s=0.3)
+            assert_identical(
+                run_sim(cfg, "fast", "uniform", 21),
+                run_sim(cfg, "batch", "uniform", 21),
+            )
+        finally:
+            if not native:
+                _native.reset_kernel_cache()
+
+
+def launch_pair(n: int, messages: int, seeds: int, solver: str):
+    """Drive fast and batch backends through identical launches and
+    compare timings channel-for-channel via the reservation table."""
+    topo = MeshTopology(8, 8)
+    fast = make_backend("fast", topo, Engine())
+    batch = make_backend("batch", topo, Engine())
+    if solver == "native":
+        if batch._kernel is None:
+            pytest.skip("no C compiler available")
+    else:
+        batch._kernel = None
+        # force the requested fallback engine
+        batch.NUMPY_MIN_PACKETS = 0 if solver == "numpy" else 10 ** 9
+    rng = np.random.default_rng(seeds)
+    now = 0.0
+    for _ in range(seeds % 3 + 2):
+        base = int(rng.integers(0, 64 - n))
+        coords = [Coord((base + i) % 8, (base + i) // 8) for i in range(n)]
+        offsets = destination_offsets(n, messages)
+        now = float(rng.integers(0, 50))
+        a = fast.inject_rounds(coords, offsets, now, 16.0)
+        b = batch.inject_rounds(coords, offsets, now, 16.0)
+        assert a == b  # packets, latency_sum, blocking_sum, last_delivery
+    assert np.array_equal(np.asarray(fast.free_at), batch.free_at)
+    assert fast.packets_sent == batch.packets_sent
+
+
+class TestLaunchLevelEquivalence:
+    """Every solver engine agrees with the reference, channel-for-channel."""
+
+    @pytest.mark.parametrize("solver", ["native", "numpy", "python"])
+    @pytest.mark.parametrize("n,messages", [(2, 1), (5, 3), (24, 7), (40, 12)])
+    def test_engines_match_reference(self, solver, n, messages):
+        launch_pair(n, messages, seeds=n + messages, solver=solver)
+
+    def test_numpy_solver_handles_contended_launch(self):
+        """Dense all-to-all with overlapping rounds exercises multi-sweep
+        convergence of the fixed-point solver."""
+        launch_pair(48, 9, seeds=1, solver="numpy")
+
+
+class TestNativeGating:
+    def test_disable_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        _native.reset_kernel_cache()
+        try:
+            backend = BatchBackend(MeshTopology(4, 4), Engine())
+            assert backend._kernel is None
+            coords = [Coord(0, 0), Coord(1, 0), Coord(2, 0)]
+            stats = backend.inject_rounds(
+                coords, destination_offsets(3, 2), 0.0, 16.0
+            )
+            assert stats.packets == 6
+        finally:
+            _native.reset_kernel_cache()
+
+    def test_kernel_memoised(self):
+        _native.reset_kernel_cache()
+        assert _native.load_kernel() is _native.load_kernel()

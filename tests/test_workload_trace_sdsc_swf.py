@@ -1,6 +1,5 @@
 """Unit tests for trace replay, the synthetic SDSC trace and the SWF parser."""
 
-import itertools
 
 import pytest
 
