@@ -35,13 +35,14 @@ from repro.alloc import (
     make_allocator,
 )
 from repro.core.config import PAPER_CONFIG, SimConfig
+from repro.core.hooks import SimObserver, TrajectoryObserver
 from repro.core.job import Job
 from repro.core.metrics import RunResult
 from repro.core.simulator import Simulator
 from repro.mesh import Coord, MeshGrid, SubMesh
 from repro.sched import FCFSScheduler, SSDScheduler, make_scheduler
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Allocation",
@@ -57,7 +58,9 @@ __all__ = [
     "SimConfig",
     "Job",
     "RunResult",
+    "SimObserver",
     "Simulator",
+    "TrajectoryObserver",
     "Coord",
     "MeshGrid",
     "SubMesh",

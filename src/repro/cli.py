@@ -12,6 +12,8 @@ Usage::
     python -m repro sweep --workloads uniform,exponential \
         --loads 0.005,0.009,0.013 --allocs GABL,MBS --scheds FCFS,SSD \
         -j 4                             # a custom grid campaign
+    python -m repro scenario examples/scenario_smoke.json \
+        --out results/scenario.json      # a declarative scenario file
 
 Figure targets are executed as one deduplicated campaign: cells shared
 between figures (e.g. the uniform sweep behind figs 3/6/9/12/15) are
@@ -34,6 +36,7 @@ from repro.experiments.figures import FIGURES
 from repro.experiments.report import ascii_plot, format_figure, summarize_point
 from repro.experiments.runner import SCALES, default_scale, run_figure, run_point
 from repro.workload.swf import load_swf
+from repro.workload.transforms import SpecError
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,7 +50,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "targets",
         nargs="+",
-        help="figure ids (fig2..fig16), 'all', 'claims', 'point', or 'sweep'",
+        help="figure ids (fig2..fig16), 'all', 'claims', 'point', 'sweep', "
+        "or 'scenario' followed by one or more scenario JSON files",
     )
     p.add_argument(
         "--version",
@@ -71,16 +75,17 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--network-mode",
         choices=NETWORK_MODES,
-        default=PAPER_CONFIG.network_mode,
-        help="network transport backend: batch (vectorised, default), "
+        default=None,
+        help="network transport backend: batch (vectorised, the default), "
         "fast (bit-identical reference), causal (exact per-hop "
         "arbitration) or sfb (single-flit-buffer wormhole)",
     )
     p.add_argument(
         "--topology",
         choices=("mesh", "torus"),
-        default="mesh",
-        help="interconnect topology (torus = the paper's future work)",
+        default=None,
+        help="interconnect topology (default mesh; torus = the paper's "
+        "future work)",
     )
     p.add_argument(
         "--swf",
@@ -88,7 +93,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replay this SWF trace file for the real workload",
     )
     # 'point' options
-    p.add_argument("--workload", choices=("real", "uniform", "exponential"))
+    p.add_argument(
+        "--workload",
+        default=None,
+        help="point: real/uniform/exponential or a pipeline spec such as "
+        "'real*0.5 | thin:0.8 + uniform'",
+    )
     p.add_argument("--load", type=float)
     p.add_argument("--alloc", default="GABL")
     p.add_argument("--sched", default="FCFS")
@@ -96,7 +106,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workloads",
         default=None,
-        help="sweep: comma-separated workloads (real,uniform,exponential)",
+        help="sweep: comma-separated workloads "
+        "(real,uniform,exponential, or pipeline specs)",
     )
     p.add_argument(
         "--loads", default=None, help="sweep: comma-separated load values"
@@ -107,11 +118,69 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--scheds", default="FCFS", help="sweep: comma-separated schedulers"
     )
+    # 'scenario' options
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="scenario: write the full JSON report (metrics + trajectories)",
+    )
     return p
 
 
 def _progress(msg: str) -> None:
     print(msg, file=sys.stderr)
+
+
+def _run_scenarios(files: Sequence[str], args, trace) -> int:
+    import dataclasses
+
+    from repro.experiments.scenario import Scenario
+
+    for path in files:
+        try:
+            scenario = Scenario.load(path)
+            # explicitly-given CLI flags override the file's settings
+            overrides: dict = {}
+            if args.scale is not None:
+                overrides["scale"] = args.scale
+            if args.network_mode is not None:
+                overrides["network_mode"] = args.network_mode
+            if args.topology is not None:
+                overrides["config"] = {
+                    **scenario.config, "topology": args.topology,
+                }
+            if overrides:
+                scenario = dataclasses.replace(scenario, **overrides)
+        except (OSError, ValueError) as exc:
+            print(f"bad scenario file {path}: {exc}", file=sys.stderr)
+            return 2
+        mode = scenario.network_mode or scenario.sim_config().network_mode
+        _progress(
+            f"scenario {scenario.name}: {len(scenario.points())} points, "
+            f"scale={scenario.scale}, network={mode}, "
+            f"topology={scenario.sim_config().topology}, jobs={args.jobs}"
+        )
+        t0 = time.perf_counter()
+        result = scenario.run(jobs=args.jobs, trace=trace, progress=_progress)
+        dt = time.perf_counter() - t0
+        print(result.format())
+        print(f"[scenario {scenario.name}: {len(result.points)} points, {dt:.1f}s]")
+        if args.out:
+            import json
+            from pathlib import Path
+
+            out = Path(args.out)
+            if len(files) > 1:
+                # one report per scenario file: a shared --out path would
+                # silently overwrite every report but the last
+                out = out.with_name(
+                    f"{out.stem}-{scenario.name}{out.suffix or '.json'}"
+                )
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(json.dumps(result.to_dict(), indent=2))
+            print(f"report written to {out}")
+    return 0
 
 
 def _run_sweep(args, scale, config, trace) -> int:
@@ -123,14 +192,18 @@ def _run_sweep(args, scale, config, trace) -> int:
     except ValueError:
         print(f"bad --loads value {args.loads!r}", file=sys.stderr)
         return 2
-    campaign = Campaign.sweep(
-        workloads=tuple(x for x in args.workloads.split(",") if x),
-        loads=loads,
-        allocs=tuple(x for x in args.allocs.split(",") if x),
-        scheds=tuple(x for x in args.scheds.split(",") if x),
-        scale=scale, config=config,
-        network_mode=args.network_mode, trace=trace,
-    )
+    try:
+        campaign = Campaign.sweep(
+            workloads=tuple(x.strip() for x in args.workloads.split(",") if x),
+            loads=loads,
+            allocs=tuple(x for x in args.allocs.split(",") if x),
+            scheds=tuple(x for x in args.scheds.split(",") if x),
+            scale=scale, config=config,
+            network_mode=args.network_mode, trace=trace,
+        )
+    except SpecError as exc:
+        print(f"bad workload spec: {exc}", file=sys.stderr)
+        return 2
     print(f"sweep: {len(campaign.points)} unique points, "
           f"scale={scale}, jobs={args.jobs}")
     t0 = time.perf_counter()
@@ -148,7 +221,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
     scale = args.scale or default_scale()
-    config = PAPER_CONFIG.with_(topology=args.topology)
+    config = PAPER_CONFIG.with_(topology=args.topology or "mesh")
     trace = None
     if args.swf:
         trace = load_swf(args.swf, max_size=PAPER_CONFIG.processors)
@@ -160,6 +233,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             targets.extend(FIGURES)
         else:
             targets.append(t)
+
+    # 'scenario' consumes every following target as a scenario JSON file
+    scenario_files: list[str] = []
+    if "scenario" in targets:
+        idx = targets.index("scenario")
+        scenario_files = targets[idx + 1:]
+        targets = targets[:idx]
+        if not scenario_files:
+            print("scenario requires at least one JSON file", file=sys.stderr)
+            return 2
 
     # run the union of all requested figures as ONE deduplicated campaign
     # (shared sweeps simulate once; -j parallelises across every cell)
@@ -195,11 +278,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print("point requires --workload and --load", file=sys.stderr)
                 return 2
             t0 = time.perf_counter()
-            point = run_point(
-                args.workload, args.load, args.alloc, args.sched,
-                scale=scale, config=config,
-                network_mode=args.network_mode, trace=trace, jobs=args.jobs,
-            )
+            try:
+                point = run_point(
+                    args.workload, args.load, args.alloc, args.sched,
+                    scale=scale, config=config,
+                    network_mode=args.network_mode, trace=trace, jobs=args.jobs,
+                )
+            except (SpecError, KeyError) as exc:
+                print(f"bad point parameters: {exc}", file=sys.stderr)
+                return 2
             dt = time.perf_counter() - t0
             print(
                 f"{args.alloc}({args.sched}) {args.workload} load={args.load}: "
@@ -219,6 +306,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.plot:
             print(ascii_plot(result))
         print(f"[{target}: scale={scale}, {dt:.1f}s]\n")
+
+    if scenario_files:
+        rc = _run_scenarios(scenario_files, args, trace)
+        if rc != 0:
+            return rc
     return 0
 
 

@@ -1,0 +1,155 @@
+"""Simulator lifecycle hooks: the observer architecture.
+
+The simulator no longer talks to a hard-wired metrics object; it
+broadcasts job lifecycle events to a list of :class:`SimObserver`\\ s:
+
+* ``on_arrival``  -- a job joined the scheduler queue;
+* ``on_start``    -- a job was allocated and its traffic launched;
+* ``on_complete`` -- a job's last packet was delivered and it departed;
+* ``on_busy_change`` -- the number of busy processors changed;
+* ``on_end``      -- the run finished (clock at its final value).
+
+:class:`~repro.core.metrics.Metrics` is the default observer (always
+first, so aggregate metrics exist for every run); additional observers
+such as :class:`TrajectoryObserver` attach per run.  Observers are
+passive -- they never schedule events or touch simulation state -- so a
+run's event trajectory, and therefore its :class:`RunResult`, is
+bit-identical whether or not extra observers are attached.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.job import Job
+
+
+class SimObserver:
+    """Base observer: every hook defaults to a no-op.
+
+    Subclasses override only the hooks they need.  ``queue_length`` is
+    the scheduler's queue size *after* the triggering add/remove, so
+    observers need not track the queue themselves.
+    """
+
+    __slots__ = ()
+
+    def on_arrival(self, now: float, job: "Job", queue_length: int) -> None:
+        """``job`` arrived and was enqueued."""
+
+    def on_start(self, now: float, job: "Job", queue_length: int) -> None:
+        """``job`` was allocated (``job.allocation`` is set) and started."""
+
+    def on_complete(self, now: float, job: "Job") -> None:
+        """``job`` departed (its processors are already released)."""
+
+    def on_busy_change(self, now: float, delta: int) -> None:
+        """Busy processor count changed by ``delta`` at ``now``."""
+
+    def on_end(self, now: float) -> None:
+        """The run ended with the clock at ``now``."""
+
+
+class TrajectoryObserver(SimObserver):
+    """Record queue-length / utilization / throughput time series.
+
+    Samples are taken on a fixed grid every ``sample_interval`` time
+    units.  The observer is event-driven: whenever a hook fires it first
+    emits samples for every grid point that the clock has passed --
+    carrying the pre-event state forward, since nothing changed between
+    events -- and only then folds in the new event.  ``on_end`` flushes
+    the grid up to the final clock value, so a finished run always has
+    ``floor(sim_time / sample_interval) + 1`` samples (including t=0).
+
+    Series (parallel lists, one entry per grid point):
+
+    * ``times``        -- sample timestamps;
+    * ``queue_length`` -- jobs waiting in the scheduler queue;
+    * ``busy``         -- busy processors (divide by ``processors`` for
+      instantaneous utilization, see :meth:`utilization`);
+    * ``completed``    -- cumulative completed jobs (difference a window
+      to get throughput).
+    """
+
+    __slots__ = (
+        "sample_interval",
+        "processors",
+        "times",
+        "queue_length",
+        "busy",
+        "completed",
+        "_queue",
+        "_busy",
+        "_completed",
+        "_next",
+    )
+
+    def __init__(self, sample_interval: float, processors: int = 0) -> None:
+        if sample_interval <= 0:
+            raise ValueError(
+                f"sample_interval must be positive, got {sample_interval}"
+            )
+        self.sample_interval = float(sample_interval)
+        self.processors = processors
+        self.times: list[float] = []
+        self.queue_length: list[int] = []
+        self.busy: list[int] = []
+        self.completed: list[int] = []
+        self._queue = 0
+        self._busy = 0
+        self._completed = 0
+        self._next = 0.0
+
+    # ------------------------------------------------------------ sampling
+    def _sample_until(self, now: float, inclusive: bool = False) -> None:
+        """Emit samples for grid points passed by the clock.
+
+        State changes carried by the current event apply *at* ``now``, so
+        a grid point equal to ``now`` is emitted with the new state by
+        the next hook (or by ``on_end``, which is inclusive)."""
+        while self._next < now or (inclusive and self._next <= now):
+            self.times.append(self._next)
+            self.queue_length.append(self._queue)
+            self.busy.append(self._busy)
+            self.completed.append(self._completed)
+            self._next += self.sample_interval
+
+    # --------------------------------------------------------------- hooks
+    def on_arrival(self, now: float, job, queue_length: int) -> None:
+        self._sample_until(now)
+        self._queue = queue_length
+
+    def on_start(self, now: float, job, queue_length: int) -> None:
+        self._sample_until(now)
+        self._queue = queue_length
+
+    def on_complete(self, now: float, job) -> None:
+        self._sample_until(now)
+        self._completed += 1
+
+    def on_busy_change(self, now: float, delta: int) -> None:
+        self._sample_until(now)
+        self._busy += delta
+
+    def on_end(self, now: float) -> None:
+        self._sample_until(now, inclusive=True)
+
+    # -------------------------------------------------------------- output
+    def utilization(self) -> list[float]:
+        """Instantaneous utilization per sample (needs ``processors``)."""
+        if self.processors <= 0:
+            raise ValueError("TrajectoryObserver needs processors > 0")
+        return [b / self.processors for b in self.busy]
+
+    def series(self) -> dict[str, list]:
+        """All series as a JSON-serializable dict."""
+        out: dict[str, list] = {
+            "times": list(self.times),
+            "queue_length": list(self.queue_length),
+            "busy": list(self.busy),
+            "completed": list(self.completed),
+        }
+        if self.processors > 0:
+            out["utilization"] = self.utilization()
+        return out

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.hooks import SimObserver
 from repro.core.job import Job
 
 
@@ -49,8 +50,15 @@ class RunResult:
         return getattr(self, name)
 
 
-class Metrics:
-    """Streaming accumulators for one run."""
+class Metrics(SimObserver):
+    """Streaming accumulators for one run.
+
+    Implements the :class:`~repro.core.hooks.SimObserver` interface and
+    is the simulator's *default* observer: every run carries one, so the
+    aggregate :class:`RunResult` always exists.  The pre-observer entry
+    points (:meth:`on_queue_length`, :meth:`on_completion`) remain the
+    implementation; the hook methods adapt to them.
+    """
 
     __slots__ = (
         "processors",
@@ -117,6 +125,12 @@ class Metrics:
         return integral / (self.processors * span)
 
     # ----------------------------------------------------------- lifecycle
+    def on_arrival(self, now: float, job: Job, queue_length: int) -> None:
+        self.on_queue_length(queue_length)
+
+    def on_complete(self, now: float, job: Job) -> None:
+        self.on_completion(job)
+
     def on_queue_length(self, length: int) -> None:
         if length > self.queue_peak:
             self.queue_peak = length
@@ -142,8 +156,18 @@ class Metrics:
 
     # -------------------------------------------------------------- output
     def result(self, now: float) -> RunResult:
-        """Freeze the accumulators into a :class:`RunResult`."""
-        n = max(self.measured, 1)
+        """Freeze the accumulators into a :class:`RunResult`.
+
+        **Zero-measured semantics:** a run can finish with ``measured ==
+        0`` (every completion fell inside the warm-up window, or a
+        ``max_time`` cut-off landed before the first measured
+        completion).  Every per-job mean -- turnaround, service, wait,
+        fragments, contiguity rate -- and every per-packet mean then
+        reports exactly ``0.0``, never ``nan`` or a division error:
+        downstream consumers (campaign cache files, replication CIs)
+        require all metric values to be finite and JSON-round-trippable.
+        """
+        n = max(self.measured, 1)  # all numerators are 0.0 when measured == 0
         return RunResult(
             completed_jobs=self.completed,
             measured_jobs=self.measured,

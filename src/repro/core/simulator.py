@@ -13,16 +13,26 @@ loop:
 
 A run ends after ``config.jobs`` completions (the paper uses 1000) or at
 ``config.max_time`` for the saturation/utilization experiments.
+
+Job lifecycle events are broadcast to a list of
+:class:`~repro.core.hooks.SimObserver` objects
+(``on_arrival``/``on_start``/``on_complete``/``on_busy_change``/
+``on_end``).  The run's :class:`Metrics` is always the first observer;
+extra observers (e.g. :class:`~repro.core.hooks.TrajectoryObserver` for
+time-resolved queue/utilization series) attach via the ``observers``
+argument.  Observers are passive, so attaching them never changes the
+simulated trajectory.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.alloc.base import Allocator
 from repro.core.config import SimConfig
 from repro.core.engine import Engine
 from repro.core.events import Priority
+from repro.core.hooks import SimObserver
 from repro.core.job import Job
 from repro.core.metrics import Metrics, RunResult
 from repro.network import make_backend
@@ -44,6 +54,7 @@ class Simulator:
         network_mode: str | None = None,
         seed: int | None = None,
         keep_jobs: bool = False,
+        observers: Sequence[SimObserver] = (),
     ) -> None:
         if (allocator.width, allocator.length) != (config.width, config.length):
             raise ValueError(
@@ -73,6 +84,8 @@ class Simulator:
         self.metrics = Metrics(
             config.processors, warmup_jobs=config.warmup_jobs, keep_jobs=keep_jobs
         )
+        #: lifecycle observers; metrics always first so aggregates exist
+        self.observers: tuple[SimObserver, ...] = (self.metrics, *observers)
         self.seed = config.seed if seed is None else seed
         self._jobs: Iterator[Job] | None = None
         self._done = False
@@ -85,7 +98,10 @@ class Simulator:
         self._jobs = self.workload.jobs(self.seed)
         self._schedule_next_arrival()
         self.engine.run(until=self.config.max_time, stop=lambda: self._done)
-        return self.metrics.result(self.engine.now)
+        now = self.engine.now
+        for obs in self.observers:
+            obs.on_end(now)
+        return self.metrics.result(now)
 
     @property
     def completed(self) -> int:
@@ -105,7 +121,10 @@ class Simulator:
     def _on_arrival(self, job: Job) -> None:
         self._arrived += 1
         self.scheduler.add(job)
-        self.metrics.on_queue_length(len(self.scheduler))
+        now = self.engine.now
+        queued = len(self.scheduler)
+        for obs in self.observers:
+            obs.on_arrival(now, job, queued)
         self._schedule_next_arrival()
         self._dispatch()
 
@@ -130,7 +149,11 @@ class Simulator:
         job.alloc_time = now
         job.allocation = allocation
         self._started += 1
-        self.metrics.on_busy_change(now, allocation.size)
+        queued = len(self.scheduler)
+        for obs in self.observers:
+            obs.on_busy_change(now, allocation.size)
+        for obs in self.observers:
+            obs.on_start(now, job, queued)
         self.traffic.launch(job, now, self._on_complete)
 
     # ------------------------------------------------------------ departure
@@ -139,8 +162,10 @@ class Simulator:
         job.depart_time = now
         assert job.allocation is not None
         self.allocator.release(job.allocation)
-        self.metrics.on_busy_change(now, -job.allocation.size)
-        self.metrics.on_completion(job)
+        for obs in self.observers:
+            obs.on_busy_change(now, -job.allocation.size)
+        for obs in self.observers:
+            obs.on_complete(now, job)
         if self.metrics.completed >= self.config.jobs:
             self._done = True
             return

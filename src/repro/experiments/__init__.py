@@ -21,6 +21,7 @@ from repro.experiments.runner import (
     run_point,
     sdsc_trace,
 )
+from repro.experiments.scenario import Scenario, ScenarioResult, run_trajectory
 from repro.experiments.claims import ClaimReport, ClaimResult, verify_all
 from repro.experiments.report import (
     ascii_plot,
@@ -40,6 +41,9 @@ __all__ = [
     "combo_label",
     "Campaign",
     "PointSpec",
+    "Scenario",
+    "ScenarioResult",
+    "run_trajectory",
     "ProcessPoolExecutor",
     "SerialExecutor",
     "make_executor",

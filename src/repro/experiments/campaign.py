@@ -47,6 +47,12 @@ from repro.stats.replication import ReplicationController
 from repro.workload.sdsc import synthesize_sdsc_trace
 from repro.workload.stochastic import StochasticWorkload
 from repro.workload.trace import TraceJob, TraceWorkload
+from repro.workload.transforms import (
+    build_pipeline,
+    canonical_workload,
+    is_pipeline_spec,
+    spec_is_deterministic,
+)
 
 #: metrics recorded for every point (RunResult attribute names)
 METRICS = (
@@ -121,7 +127,15 @@ def make_workload(
     scale: Scale,
     trace: Sequence[TraceJob] | None = None,
 ):
-    """Build the workload object for one point."""
+    """Build the workload object for one point.
+
+    ``workload`` is either a base name (``"real"``, ``"uniform"``,
+    ``"exponential"``) or a workload-pipeline spec such as
+    ``"real*0.5 | thin:0.8 + uniform"`` (see
+    :mod:`repro.workload.transforms`).  Pipeline sources are built
+    through this same function, so every source in a merge shares the
+    point's config, offered load, scale and external trace.
+    """
     if workload == "uniform":
         return StochasticWorkload(config, load, sides="uniform")
     if workload == "exponential":
@@ -129,6 +143,11 @@ def make_workload(
     if workload == "real":
         jobs = list(trace) if trace is not None else sdsc_trace(scale.trace_max_jobs)
         return TraceWorkload(config, jobs, load, max_jobs=scale.trace_max_jobs)
+    if is_pipeline_spec(workload):
+        return build_pipeline(
+            workload,
+            lambda name: make_workload(name, config, load, scale, trace=trace),
+        )
     raise KeyError(f"unknown workload {workload!r}")
 
 
@@ -172,10 +191,17 @@ class PointSpec:
     trace_source: str = "sdsc"  #: "sdsc" or an external-trace fingerprint
 
     def __post_init__(self) -> None:
-        # normalise so equality/hashing/key() agree: the scale pins the
-        # job count, and the backend is resolved to ONE value carried by
-        # both the spec field and the stored config (it is part of the
-        # cache key; results from one backend must never alias another's)
+        # normalise so equality/hashing/key() agree: pipeline specs
+        # canonicalise (equal pipelines -> equal keys, and a malformed
+        # spec fails here rather than inside a worker), the scale pins
+        # the job count, and the backend is resolved to ONE value
+        # carried by both the spec field and the stored config (it is
+        # part of the cache key; results from one backend must never
+        # alias another's)
+        if is_pipeline_spec(self.workload):
+            object.__setattr__(
+                self, "workload", canonical_workload(self.workload)
+            )
         if self.network_mode is None:
             object.__setattr__(self, "network_mode", self.config.network_mode)
         if (self.config.jobs != self.scale.jobs
@@ -193,8 +219,17 @@ class PointSpec:
 
     @property
     def replication_bounds(self) -> tuple[int, int]:
-        """(min, max) replications; trace replay is deterministic -> 1."""
-        if self.workload == "real":
+        """(min, max) replications.
+
+        Trace replay is deterministic, so one replication suffices --
+        and likewise for any workload pipeline whose stream does not
+        consume the replication seed (pure-``real`` sources with only
+        deterministic transforms such as ``scale``/``burst``/``clamp``).
+        """
+        if self.workload == "real" or (
+            is_pipeline_spec(self.workload)
+            and spec_is_deterministic(self.workload)
+        ):
             return (1, 1)
         return (self.scale.min_replications, self.scale.max_replications)
 
@@ -233,6 +268,31 @@ class PointSpec:
         )
 
 
+def build_simulator(
+    spec: PointSpec,
+    seed: int,
+    trace: Sequence[TraceJob] | None = None,
+    observers: Sequence = (),
+) -> Simulator:
+    """The ONE place a point spec becomes a runnable simulator.
+
+    Both the campaign work unit (:func:`run_spec_replication`) and the
+    scenario trajectory runner build through here, so every spec field
+    that affects the run (config, window, network mode, workload
+    pipeline) is plumbed exactly once.
+    """
+    cfg = spec.run_config
+    return Simulator(
+        cfg,
+        make_allocator(spec.alloc, cfg.width, cfg.length),
+        make_scheduler(spec.sched, window=cfg.scheduler_window),
+        make_workload(spec.workload, cfg, spec.load, spec.scale, trace=trace),
+        network_mode=spec.network_mode,
+        seed=seed,
+        observers=observers,
+    )
+
+
 def run_spec_replication(
     spec: PointSpec, seed: int, trace: Sequence[TraceJob] | None = None
 ) -> dict[str, float]:
@@ -242,15 +302,7 @@ def run_spec_replication(
     every simulation input, including the seed, comes from the task, so
     any worker computes the same answer.
     """
-    cfg = spec.run_config
-    allocator = make_allocator(spec.alloc, cfg.width, cfg.length)
-    scheduler = make_scheduler(spec.sched, window=cfg.scheduler_window)
-    wl = make_workload(spec.workload, cfg, spec.load, spec.scale, trace=trace)
-    sim = Simulator(
-        cfg, allocator, scheduler, wl,
-        network_mode=spec.network_mode, seed=seed,
-    )
-    result = sim.run()
+    result = build_simulator(spec, seed, trace=trace).run()
     return {m: result.metric(m) for m in METRICS}
 
 

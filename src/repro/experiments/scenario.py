@@ -1,0 +1,325 @@
+"""Declarative scenarios: JSON experiment descriptions, end to end.
+
+A :class:`Scenario` bundles everything one experiment needs -- a
+workload-pipeline spec (:mod:`repro.workload.transforms`), ``SimConfig``
+overrides, an allocator/scheduler/load grid, a fidelity scale and an
+optional trajectory-sampling interval -- into one JSON-serializable
+object, in the spirit of AccaSim's declarative workload descriptions:
+the *file* is the experiment.
+
+Scenarios compile to the ordinary campaign machinery: each grid cell
+becomes a :class:`~repro.experiments.campaign.PointSpec` whose
+``workload`` field carries the canonical pipeline string, so the sharded
+result store, cross-figure dedup and ``-j N`` parallel execution all
+work unchanged, and an identity scenario (paper config, untransformed
+workload) hits exactly the same cache keys as the figure campaigns.
+
+When ``sample_interval`` is set, one extra replication per point runs
+with a :class:`~repro.core.hooks.TrajectoryObserver` attached and the
+queue-length/utilization/throughput series are returned alongside the
+aggregate metrics (trajectories are passive and re-use the first
+replication's seed, so they describe exactly the run that produced the
+metrics).
+
+CLI: ``python -m repro scenario <file.json> [-j N] [--out out.json]``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from concurrent import futures
+from dataclasses import dataclass, field
+from functools import partial
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.alloc import make_allocator
+from repro.core.config import NETWORK_MODES, PAPER_CONFIG, SimConfig
+from repro.core.hooks import TrajectoryObserver
+from repro.experiments.campaign import (
+    METRICS,
+    SCALES,
+    _TRACE_FROM_INITIALIZER,
+    _set_worker_trace,
+    Campaign,
+    PointSpec,
+    Scale,
+    build_simulator,
+    trace_fingerprint,
+)
+from repro.experiments.store import ResultCache
+from repro.sched import make_scheduler
+from repro.workload.trace import TraceJob
+from repro.workload.transforms import canonical_workload
+from repro.experiments.report import summarize_point
+
+#: keys accepted by a scenario dict/JSON document
+_SCENARIO_KEYS = frozenset({
+    "name", "workload", "loads", "allocs", "scheds", "scale", "config",
+    "network_mode", "sample_interval",
+})
+
+
+@dataclass
+class Scenario:
+    """One declarative experiment: pipeline x grid x config overrides."""
+
+    name: str
+    #: workload-pipeline spec (string grammar or dict AST); canonicalised
+    workload: str | dict
+    loads: tuple[float, ...]
+    allocs: tuple[str, ...] = ("GABL",)
+    scheds: tuple[str, ...] = ("FCFS",)
+    scale: str = "smoke"
+    #: ``SimConfig`` field overrides applied on top of ``PAPER_CONFIG``
+    config: dict = field(default_factory=dict)
+    network_mode: str | None = None
+    #: trajectory sample interval in sim-time units; ``None`` disables
+    sample_interval: float | None = None
+
+    def __post_init__(self) -> None:
+        # every field is validated eagerly -- and with ValueError -- so a
+        # bad scenario file fails at load time with exit code 2, never
+        # with a traceback from deep inside a (possibly remote) worker
+        if not self.name:
+            raise ValueError("scenario needs a non-empty name")
+        self.workload = canonical_workload(self.workload)
+        self.loads = tuple(float(x) for x in self.loads)
+        if not self.loads:
+            raise ValueError("scenario needs at least one load")
+        self.allocs = tuple(self.allocs)
+        self.scheds = tuple(self.scheds)
+        if not self.allocs or not self.scheds:
+            raise ValueError("scenario needs at least one allocator and scheduler")
+        for alloc in self.allocs:
+            try:
+                make_allocator(alloc, 4, 4)
+            except KeyError as exc:
+                raise ValueError(f"bad scenario allocator: {exc.args[0]}") from None
+        for sched in self.scheds:
+            try:
+                make_scheduler(sched)
+            except KeyError as exc:
+                raise ValueError(f"bad scenario scheduler: {exc.args[0]}") from None
+        if self.scale not in SCALES:
+            raise ValueError(
+                f"unknown scale {self.scale!r}; choose from {sorted(SCALES)}"
+            )
+        if self.network_mode is not None and self.network_mode not in NETWORK_MODES:
+            raise ValueError(
+                f"unknown network_mode {self.network_mode!r}; "
+                f"choose from {NETWORK_MODES}"
+            )
+        if self.sample_interval is not None and self.sample_interval <= 0:
+            raise ValueError(
+                f"sample_interval must be positive, got {self.sample_interval}"
+            )
+        self.sim_config()  # reject unknown/invalid config overrides now
+
+    # -------------------------------------------------------- serialization
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Scenario":
+        unknown = set(data) - _SCENARIO_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown scenario key(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(_SCENARIO_KEYS)}"
+            )
+        missing = {"name", "workload", "loads"} - set(data)
+        if missing:
+            raise ValueError(f"scenario is missing required key(s) {sorted(missing)}")
+        return cls(**dict(data))
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Scenario":
+        return cls.from_json(Path(path).read_text())
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "workload": self.workload,
+            "loads": list(self.loads),
+            "allocs": list(self.allocs),
+            "scheds": list(self.scheds),
+            "scale": self.scale,
+            "config": dict(self.config),
+            "network_mode": self.network_mode,
+        }
+        if self.sample_interval is not None:
+            out["sample_interval"] = self.sample_interval
+        return out
+
+    def fingerprint(self) -> str:
+        """Content hash of the scenario (stable across key order)."""
+        blob = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    # ------------------------------------------------------------- building
+    def sim_config(self) -> SimConfig:
+        """The run config: ``PAPER_CONFIG`` plus this scenario's overrides."""
+        try:
+            return PAPER_CONFIG.with_(**self.config)
+        except TypeError as exc:
+            fields = sorted(f.name for f in dataclasses.fields(SimConfig))
+            raise ValueError(
+                f"bad scenario config override ({exc}); "
+                f"valid SimConfig fields: {fields}"
+            ) from None
+
+    def points(
+        self, trace: Sequence[TraceJob] | None = None
+    ) -> tuple[PointSpec, ...]:
+        """The scenario's grid as campaign point specs.
+
+        The canonical pipeline string rides in each spec's ``workload``
+        field, so it -- together with the override-carrying config -- is
+        folded into the structured cache key: two scenarios share a
+        cache cell exactly when the cell's simulation inputs coincide.
+        """
+        sc = Scale.by_name(self.scale)
+        cfg = self.sim_config()
+        source = trace_fingerprint(trace) if trace is not None else "sdsc"
+        return tuple(
+            PointSpec(
+                workload=self.workload, load=load, alloc=alloc, sched=sched,
+                scale=sc, config=cfg, network_mode=self.network_mode,
+                trace_source=source,
+            )
+            for load in self.loads
+            for alloc in self.allocs
+            for sched in self.scheds
+        )
+
+    def campaign(self, trace: Sequence[TraceJob] | None = None) -> Campaign:
+        return Campaign(self.points(trace), trace=trace)
+
+    # -------------------------------------------------------------- running
+    def run(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        trace: Sequence[TraceJob] | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> "ScenarioResult":
+        """Execute the scenario's campaign (cached, optionally parallel)
+        and, when ``sample_interval`` is set, collect one trajectory per
+        point.
+
+        Trajectories are time series, not scalar means, so they are NOT
+        persisted in the result store: each ``run`` call re-simulates
+        one replication per point to record them.  With ``jobs > 1``
+        those runs fan out over a process pool alongside the campaign's
+        own parallelism.
+        """
+        campaign = self.campaign(trace)
+        results = campaign.run(jobs=jobs, cache=cache, progress=progress)
+        trajectories: dict[str, dict] = {}
+        if self.sample_interval is not None:
+            points = campaign.points
+            labels = [spec.label() for spec in points]
+            if jobs > 1 and len(points) > 1:
+                # ship an external trace once per worker via the pool
+                # initializer (as campaign.run does) instead of pickling
+                # it into every task
+                pool = futures.ProcessPoolExecutor(
+                    max_workers=min(jobs, len(points)),
+                    initializer=_set_worker_trace if trace is not None else None,
+                    initargs=(trace,) if trace is not None else (),
+                )
+                run_one = partial(
+                    run_trajectory, sample_interval=self.sample_interval,
+                    trace=_TRACE_FROM_INITIALIZER if trace is not None else None,
+                )
+                with pool:
+                    series = list(pool.map(run_one, points))
+            else:
+                series = [
+                    run_trajectory(spec, self.sample_interval, trace=trace)
+                    for spec in points
+                ]
+            trajectories = dict(zip(labels, series))
+        return ScenarioResult(
+            scenario=self,
+            points=campaign.points,
+            metrics={spec: results[spec] for spec in campaign.points},
+            trajectories=trajectories,
+        )
+
+
+def run_trajectory(
+    spec: PointSpec,
+    sample_interval: float,
+    trace: Sequence[TraceJob] | str | None = None,
+) -> dict:
+    """Re-run one point's first replication with a trajectory observer.
+
+    Uses the point's base seed (replication 0), so the time series
+    describes the same run whose metrics entered the campaign mean.
+    Module-level and pure (like the campaign work unit), hence usable
+    from a process pool; a string ``trace`` marks the worker-initializer
+    hand-off, exactly as in :func:`~repro.experiments.campaign._run_task`.
+    """
+    if isinstance(trace, str):  # _TRACE_FROM_INITIALIZER
+        from repro.experiments import campaign as _campaign
+
+        trace = _campaign._WORKER_TRACE
+    cfg = spec.run_config
+    observer = TrajectoryObserver(sample_interval, processors=cfg.processors)
+    build_simulator(spec, cfg.seed, trace=trace, observers=(observer,)).run()
+    return observer.series()
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything a scenario run produced."""
+
+    scenario: Scenario
+    points: tuple[PointSpec, ...]
+    metrics: Mapping[PointSpec, Mapping[str, float]]
+    #: spec label -> TrajectoryObserver.series() (empty when disabled)
+    trajectories: Mapping[str, Mapping[str, list]]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable report (scenario + per-point results)."""
+        return {
+            "scenario": self.scenario.to_dict(),
+            "fingerprint": self.scenario.fingerprint(),
+            "points": [
+                {
+                    "label": spec.label(),
+                    "workload": spec.workload,
+                    "load": spec.load,
+                    "alloc": spec.alloc,
+                    "sched": spec.sched,
+                    "metrics": dict(self.metrics[spec]),
+                    "trajectory": dict(self.trajectories.get(spec.label(), {})),
+                }
+                for spec in self.points
+            ],
+            "metric_names": list(METRICS),
+        }
+
+    def format(self) -> str:
+        """Human-readable per-point summary table."""
+        lines = [
+            f"SCENARIO {self.scenario.name} "
+            f"[{self.scenario.fingerprint()}] "
+            f"workload={self.scenario.workload!r} scale={self.scenario.scale}"
+        ]
+        for spec in self.points:
+            lines.append(f"  {spec.label()}: {summarize_point(self.metrics[spec])}")
+            traj = self.trajectories.get(spec.label())
+            if traj:
+                lines.append(
+                    f"    trajectory: {len(traj['times'])} samples @ "
+                    f"{self.scenario.sample_interval:g}, "
+                    f"peak queue {max(traj['queue_length'])}, "
+                    f"peak util {max(traj['utilization']):.2f}"
+                )
+        return "\n".join(lines)

@@ -21,6 +21,7 @@ from __future__ import annotations
 import abc
 import heapq
 from collections import deque
+from itertools import islice
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -78,7 +79,9 @@ class FCFSScheduler(Scheduler):
     def peek(self, k: int = 1) -> list["Job"]:
         if k == 1:
             return [self._queue[0]] if self._queue else []
-        return [self._queue[i] for i in range(min(k, len(self._queue)))]
+        # islice walks the deque once (O(k)); indexing a deque is O(i)
+        # per access, which made the old comprehension O(k^2)
+        return list(islice(self._queue, k))
 
     def remove(self, job: "Job") -> None:
         if self._queue and self._queue[0] is job:
@@ -121,10 +124,23 @@ class SSDScheduler(Scheduler):
         self._compact()
         if k == 1:
             return [self._heap[0][2]] if self._heap else []
-        live = [
-            entry for entry in self._heap if id(entry[2]) not in self._removed
-        ]
-        return [job for _, _, job in heapq.nsmallest(k, live)]
+        # lazily pop the k best live entries and push them back: O(k log n)
+        # instead of filtering and re-sorting the whole heap on every
+        # dispatch.  Lazily-removed entries met on the way are dropped
+        # for good (the same permanent compaction _compact performs).
+        heap = self._heap
+        taken: list[tuple[float, int, "Job"]] = []
+        out: list["Job"] = []
+        while heap and len(out) < k:
+            entry = heapq.heappop(heap)
+            if id(entry[2]) in self._removed:
+                self._removed.discard(id(entry[2]))
+                continue
+            taken.append(entry)
+            out.append(entry[2])
+        for entry in taken:
+            heapq.heappush(heap, entry)
+        return out
 
     def remove(self, job: "Job") -> None:
         self._compact()

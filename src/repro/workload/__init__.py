@@ -7,21 +7,64 @@ distributions, and (b) a real trace of 10,658 production jobs from the
 plus a Standard Workload Format (SWF) parser so an actual archive trace
 can be substituted for the calibrated synthetic one (DESIGN.md
 section 2.3).
+
+On top of the base workloads sits a composable transform pipeline
+(:mod:`repro.workload.transforms`): any stream can be load-scaled,
+thinned, jittered, burstified, shape-clamped or merged with another
+stream, described either programmatically or through a spec string such
+as ``"real*0.5 | thin:0.8 + uniform"`` (see :func:`parse_workload_spec`
+for the grammar).  Every transform preserves the dyadic arrival-time
+grid and non-decreasing arrival order.
 """
 
-from repro.workload.base import Workload
+from repro.workload.base import Workload, quantize_time
 from repro.workload.stochastic import StochasticWorkload
 from repro.workload.trace import TraceJob, TraceStats, TraceWorkload, trace_stats
+from repro.workload.transforms import (
+    SOURCES,
+    TRANSFORMS,
+    Burstify,
+    Jitter,
+    LoadScale,
+    Merge,
+    ShapeClamp,
+    SpecError,
+    Thin,
+    WorkloadTransform,
+    build_pipeline,
+    canonical_workload,
+    is_pipeline_spec,
+    parse_workload_spec,
+    spec_is_deterministic,
+    spec_to_str,
+)
 from repro.workload.sdsc import synthesize_sdsc_trace, SDSC_PUBLISHED
 from repro.workload.swf import load_swf, parse_swf_line
 
 __all__ = [
     "Workload",
+    "quantize_time",
     "StochasticWorkload",
     "TraceJob",
     "TraceStats",
     "TraceWorkload",
     "trace_stats",
+    "SOURCES",
+    "TRANSFORMS",
+    "Burstify",
+    "Jitter",
+    "LoadScale",
+    "Merge",
+    "ShapeClamp",
+    "SpecError",
+    "Thin",
+    "WorkloadTransform",
+    "build_pipeline",
+    "canonical_workload",
+    "is_pipeline_spec",
+    "parse_workload_spec",
+    "spec_is_deterministic",
+    "spec_to_str",
     "synthesize_sdsc_trace",
     "SDSC_PUBLISHED",
     "load_swf",

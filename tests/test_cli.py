@@ -28,6 +28,33 @@ def test_point_command(capsys):
     assert "turnaround=" in out
 
 
+def test_point_accepts_pipeline_spec(capsys):
+    rc = main([
+        "point", "--workload", "uniform | thin:0.5", "--load", "0.02",
+        "--scale", "smoke",
+    ])
+    assert rc == 0
+    assert "uniform | thin:0.5" in capsys.readouterr().out
+
+
+def test_point_rejects_bad_pipeline_spec(capsys):
+    rc = main([
+        "point", "--workload", "uniform | bogus:1", "--load", "0.02",
+        "--scale", "smoke",
+    ])
+    assert rc == 2
+    assert "bad point parameters" in capsys.readouterr().err
+
+
+def test_point_rejects_out_of_range_transform_arg(capsys):
+    rc = main([
+        "point", "--workload", "uniform | thin:0", "--load", "0.02",
+        "--scale", "smoke",
+    ])
+    assert rc == 2
+    assert "bad point parameters" in capsys.readouterr().err
+
+
 def test_point_requires_args(capsys):
     rc = main(["point", "--scale", "smoke"])
     assert rc == 2

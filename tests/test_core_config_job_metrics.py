@@ -141,6 +141,25 @@ class TestMetrics:
         assert r.mean_turnaround == 0.0
         assert r.utilization == 0.0
 
+    def test_zero_measured_all_warmup(self):
+        """Regression: completions exist but all fall in the warm-up
+        window -- every mean reports exactly 0.0, never nan."""
+        import math
+
+        m = Metrics(processors=64, warmup_jobs=5)
+        for _ in range(3):
+            m.on_completion(self._completed_job(0, 1, 2, packets=2))
+        r = m.result(now=50.0)
+        assert r.completed_jobs == 3
+        assert r.measured_jobs == 0
+        for name in (
+            "mean_turnaround", "mean_service", "mean_wait",
+            "mean_packet_latency", "mean_packet_blocking",
+            "mean_fragments", "contiguity_rate",
+        ):
+            assert r.metric(name) == 0.0
+            assert not math.isnan(r.metric(name))
+
     def test_metric_lookup(self):
         m = Metrics(processors=4)
         r = m.result(now=1.0)

@@ -1,0 +1,121 @@
+"""Tests for the simulator lifecycle-hook architecture."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc import make_allocator
+from repro.core.config import SimConfig
+from repro.core.hooks import SimObserver, TrajectoryObserver
+from repro.core.simulator import Simulator
+from repro.sched import make_scheduler
+from repro.workload.stochastic import StochasticWorkload
+
+
+def build(cfg: SimConfig, observers=()) -> Simulator:
+    return Simulator(
+        cfg,
+        make_allocator("GABL", cfg.width, cfg.length),
+        make_scheduler("FCFS"),
+        StochasticWorkload(cfg, load=0.02),
+        observers=observers,
+    )
+
+
+class Recorder(SimObserver):
+    """Counts every hook invocation."""
+
+    def __init__(self) -> None:
+        self.arrivals = 0
+        self.starts = 0
+        self.completions = 0
+        self.busy_changes = 0
+        self.ended_at: float | None = None
+        self.busy = 0
+
+    def on_arrival(self, now, job, queue_length):
+        self.arrivals += 1
+
+    def on_start(self, now, job, queue_length):
+        assert job.alloc_time == now
+        assert job.allocation is not None
+        self.starts += 1
+
+    def on_complete(self, now, job):
+        assert job.depart_time == now
+        self.completions += 1
+
+    def on_busy_change(self, now, delta):
+        self.busy_changes += 1
+        self.busy += delta
+        assert self.busy >= 0
+
+    def on_end(self, now):
+        self.ended_at = now
+
+
+class TestObserverDispatch:
+    def test_hooks_fire_consistently(self, tiny_config):
+        rec = Recorder()
+        sim = build(tiny_config, observers=(rec,))
+        result = sim.run()
+        assert rec.completions == result.completed_jobs == tiny_config.jobs
+        assert rec.starts >= rec.completions
+        assert rec.arrivals >= rec.starts
+        assert rec.busy_changes == rec.starts + rec.completions
+        assert rec.ended_at == result.sim_time
+        # observer sees the same busy accounting as the metrics
+        assert rec.busy == sim.metrics.busy_procs
+
+    def test_metrics_is_first_observer(self, tiny_config):
+        sim = build(tiny_config)
+        assert sim.observers[0] is sim.metrics
+
+    def test_observers_do_not_perturb_run(self, tiny_config):
+        r_plain = build(tiny_config).run()
+        r_observed = build(
+            tiny_config, observers=(Recorder(), TrajectoryObserver(32.0))
+        ).run()
+        assert r_plain == r_observed  # bit-identical RunResult
+
+
+class TestTrajectoryObserver:
+    def test_sampling_grid_and_lengths(self, tiny_config):
+        traj = TrajectoryObserver(64.0, processors=tiny_config.processors)
+        result = build(tiny_config, observers=(traj,)).run()
+        s = traj.series()
+        n = int(result.sim_time // 64.0) + 1
+        assert len(s["times"]) == n
+        assert s["times"][0] == 0.0
+        assert s["times"][-1] <= result.sim_time
+        for key in ("queue_length", "busy", "completed", "utilization"):
+            assert len(s[key]) == n
+        assert s["completed"][-1] <= result.completed_jobs
+        assert all(0.0 <= u <= 1.0 for u in s["utilization"])
+        # cumulative completions never decrease
+        assert all(a <= b for a, b in zip(s["completed"], s["completed"][1:]))
+
+    def test_carry_forward_between_events(self):
+        """Grid points between events repeat the pre-event state."""
+        traj = TrajectoryObserver(1.0)
+        traj.on_busy_change(0.5, 4)   # state becomes 4 after t=0.5
+        traj.on_busy_change(3.5, -4)  # idle again after t=3.5
+        traj.on_end(4.0)
+        assert traj.times == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert traj.busy == [0, 4, 4, 4, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrajectoryObserver(0.0)
+        with pytest.raises(ValueError):
+            TrajectoryObserver(16.0).utilization()
+
+
+class TestMetricsObserverAdapters:
+    def test_on_arrival_tracks_queue_peak(self, tiny_config):
+        sim = build(tiny_config)
+        m = sim.metrics
+        job = next(StochasticWorkload(tiny_config, load=0.02).jobs(1))
+        m.on_arrival(1.0, job, queue_length=5)
+        m.on_arrival(2.0, job, queue_length=2)
+        assert m.queue_peak == 5

@@ -177,6 +177,26 @@ class TestTraceReplay:
         assert result.sim_time <= 500.0
         assert result.completed_jobs < 10_000
 
+    def test_trace_exhausts_with_queue_backlog(self):
+        """A finite trace may run dry while jobs still wait in the
+        queue: the backlog must drain to completion, with processors
+        and queue fully released at the end."""
+        cfg = SimConfig(width=8, length=8, jobs=100, seed=2)
+        # one burst of machine-filling jobs: only one runs at a time, so
+        # the arrival stream is exhausted long before the queue is
+        trace = [
+            TraceJob(arrival=float(i), size=64, runtime=10.0)
+            for i in range(12)
+        ]
+        wl = TraceWorkload(cfg, trace, load=0.5)
+        sim = build(cfg, workload=wl)
+        result = sim.run()
+        assert result.completed_jobs == 12
+        assert len(sim.scheduler) == 0
+        assert sim.metrics.busy_procs == 0
+        assert sim.allocator.free_count == 64
+        assert result.queue_peak >= 10
+
 
 class TestWarmup:
     def test_warmup_jobs_excluded(self):
@@ -184,6 +204,21 @@ class TestWarmup:
         result = build(cfg).run()
         assert result.completed_jobs == 40
         assert result.measured_jobs == 30
+
+    def test_all_warmup_run_reports_zeros(self):
+        """A run whose every completion is warm-up (finite trace shorter
+        than the warm-up window) yields finite 0.0 means, not nan."""
+        cfg = SimConfig(width=8, length=8, jobs=10, seed=2, warmup_jobs=5)
+        trace = [
+            TraceJob(arrival=float(i * 10), size=4, runtime=5.0)
+            for i in range(3)
+        ]
+        result = build(cfg, workload=TraceWorkload(cfg, trace, load=0.05)).run()
+        assert result.completed_jobs == 3
+        assert result.measured_jobs == 0
+        assert result.mean_turnaround == 0.0
+        assert result.mean_fragments == 0.0
+        assert result.contiguity_rate == 0.0
 
 
 class TestMismatchGuard:

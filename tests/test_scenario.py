@@ -1,0 +1,257 @@
+"""Tests for the declarative scenario subsystem (and its acceptance
+criteria: identity scenarios alias the figure campaigns' cache cells
+bit-for-bit, and parallel scenario runs match serial ones)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import PAPER_CONFIG
+from repro.experiments.campaign import Campaign, run_spec_replication
+from repro.experiments.figures import FIGURES
+from repro.experiments.scenario import Scenario
+from repro.experiments.store import ResultCache
+
+EXAMPLE = Path(__file__).resolve().parent.parent / "examples" / "scenario_smoke.json"
+
+SMALL = {
+    "name": "unit",
+    "workload": "uniform",
+    "loads": [0.02],
+    "config": {"width": 8, "length": 8, "seed": 7},
+    "scale": "smoke",
+}
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    from repro.experiments.store import reset_global_cache
+
+    reset_global_cache()
+    yield
+    reset_global_cache()
+
+
+class TestScenarioSpec:
+    def test_roundtrip_and_canonicalisation(self):
+        sc = Scenario.from_dict({
+            **SMALL, "workload": "real*0.5 | thin:0.8 + uniform",
+        })
+        assert sc.workload == "real | scale:0.5 | thin:0.8 + uniform"
+        clone = Scenario.from_json(json.dumps(sc.to_dict()))
+        assert clone.to_dict() == sc.to_dict()
+        assert clone.fingerprint() == sc.fingerprint()
+
+    def test_rejects_unknown_keys_and_bad_values(self):
+        with pytest.raises(ValueError, match="unknown scenario key"):
+            Scenario.from_dict({**SMALL, "typo": 1})
+        with pytest.raises(ValueError, match="missing required"):
+            Scenario.from_dict({"name": "x"})
+        with pytest.raises(ValueError, match="SimConfig"):
+            Scenario.from_dict({**SMALL, "config": {"nonsense": 3}})
+        with pytest.raises(ValueError):
+            Scenario.from_dict({**SMALL, "loads": []})
+        with pytest.raises(ValueError):
+            Scenario.from_dict({**SMALL, "sample_interval": -1.0})
+        # every bad field raises ValueError at LOAD time (the CLI maps it
+        # to exit code 2), never a KeyError from inside a worker
+        with pytest.raises(ValueError, match="scale"):
+            Scenario.from_dict({**SMALL, "scale": "warp9"})
+        with pytest.raises(ValueError, match="allocator"):
+            Scenario.from_dict({**SMALL, "allocs": ["BOGUS"]})
+        with pytest.raises(ValueError, match="scheduler"):
+            Scenario.from_dict({**SMALL, "scheds": ["LIFO"]})
+        with pytest.raises(ValueError, match="network_mode"):
+            Scenario.from_dict({**SMALL, "network_mode": "quantum"})
+
+    def test_float_args_keep_full_precision(self):
+        sc1 = Scenario.from_dict({**SMALL, "workload": "uniform | thin:0.1234567"})
+        sc2 = Scenario.from_dict({**SMALL, "workload": "uniform | thin:0.1234571"})
+        assert sc1.workload != sc2.workload
+        assert sc1.points()[0].key() != sc2.points()[0].key()
+
+    def test_config_overrides_apply(self):
+        sc = Scenario.from_dict(SMALL)
+        cfg = sc.sim_config()
+        assert (cfg.width, cfg.length, cfg.seed) == (8, 8, 7)
+        assert cfg.t_s == PAPER_CONFIG.t_s  # untouched fields keep defaults
+
+    def test_points_fold_pipeline_into_cache_key(self):
+        plain = Scenario.from_dict(SMALL).points()[0]
+        piped = Scenario.from_dict(
+            {**SMALL, "workload": "uniform | thin:0.9"}
+        ).points()[0]
+        assert plain.key() != piped.key()
+        assert '"workload":"uniform | thin:0.9"' in piped.key()
+
+
+class TestIdentityAcceptance:
+    """Identity scenario == the figure campaigns, bit for bit."""
+
+    @pytest.mark.parametrize("fig_id,workload", [("fig2", "real"), ("fig3", "uniform")])
+    def test_identity_scenario_aliases_figure_cells(self, fig_id, workload):
+        spec = FIGURES[fig_id]
+        scenario = Scenario(
+            name=f"identity-{fig_id}",
+            workload=workload,
+            loads=spec.loads_for("smoke"),
+            allocs=("GABL", "Paging(0)", "MBS"),
+            scheds=("FCFS", "SSD"),
+            scale="smoke",
+        )
+        fig_campaign = Campaign.from_figures((fig_id,), scale="smoke")
+        scenario_keys = {p.key() for p in scenario.points()}
+        figure_keys = {p.key() for p in fig_campaign.points}
+        # same cells -> the sharded store hands the scenario the very
+        # RunResult-derived metrics the figure campaign computed
+        assert scenario_keys == figure_keys
+
+    def test_identity_pipeline_replication_is_bit_identical(self):
+        """'real | scale:1' runs a different cache cell than 'real' but
+        must produce the exact same metrics."""
+        base = Scenario.from_dict(
+            {**SMALL, "workload": "real"}).points()[0]
+        ident = Scenario.from_dict(
+            {**SMALL, "workload": "real | scale:1"}).points()[0]
+        assert base.key() != ident.key()
+        assert run_spec_replication(base, seed=7) == run_spec_replication(
+            ident, seed=7
+        )
+
+
+class TestScenarioRun:
+    def test_run_caches_and_reports(self, tmp_path):
+        sc = Scenario.from_dict({**SMALL, "sample_interval": 64.0})
+        cache = ResultCache(tmp_path / "c1")
+        res = sc.run(cache=cache)
+        assert len(res.points) == 1
+        label = res.points[0].label()
+        assert res.metrics[res.points[0]]["mean_turnaround"] > 0
+        traj = res.trajectories[label]
+        assert traj["times"][0] == 0.0
+        assert len(traj["utilization"]) == len(traj["times"])
+        # second run is served from the store
+        res2 = sc.run(cache=cache)
+        assert res2.metrics[res2.points[0]] == res.metrics[res.points[0]]
+        report = res.to_dict()
+        assert report["points"][0]["metrics"]["utilization"] >= 0
+        assert report["fingerprint"] == sc.fingerprint()
+        assert label in res.format()
+
+    def test_example_scenario_parallel_matches_serial(self, tmp_path):
+        """Acceptance: the committed example (LoadScale + Merge +
+        trajectory) runs end to end, and -j 2 equals serial."""
+        sc = Scenario.load(EXAMPLE)
+        assert "scale:0.5" in sc.workload and "+" in sc.workload
+        assert sc.sample_interval is not None
+        serial = sc.run(jobs=1, cache=ResultCache(tmp_path / "serial"))
+        parallel = sc.run(jobs=2, cache=ResultCache(tmp_path / "parallel"))
+        assert serial.points == parallel.points
+        for spec in serial.points:
+            assert serial.metrics[spec] == parallel.metrics[spec]
+
+
+class TestScenarioCLI:
+    def test_cli_scenario_target(self, capsys, tmp_path):
+        out = tmp_path / "report.json"
+        from repro.cli import main
+
+        rc = main(["scenario", str(EXAMPLE), "--out", str(out)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "SCENARIO smoke-mixed" in printed
+        assert "trajectory:" in printed
+        report = json.loads(out.read_text())
+        assert len(report["points"]) == 2
+        assert report["points"][0]["trajectory"]["times"]
+
+    def test_cli_scenario_requires_file(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario"]) == 2
+        assert "requires" in capsys.readouterr().err
+
+    def test_cli_scenario_bad_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"name\": \"x\"}")
+        assert main(["scenario", str(bad)]) == 2
+        assert "bad scenario file" in capsys.readouterr().err
+
+    def test_cli_out_per_file_with_multiple_scenarios(self, tmp_path, capsys):
+        """--out with several files writes one report per scenario."""
+        from repro.cli import main
+
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps({**SMALL, "name": "other"}))
+        out = tmp_path / "rep.json"
+        rc = main(["scenario", str(EXAMPLE), str(other), "--out", str(out)])
+        assert rc == 0
+        assert (tmp_path / "rep-smoke-mixed.json").exists()
+        assert (tmp_path / "rep-other.json").exists()
+        assert not out.exists()
+
+    def test_trajectory_pool_ships_external_trace(self, tmp_path):
+        """sample_interval + external trace + jobs>1 resolves the trace
+        through the worker initializer."""
+        from repro.workload.trace import TraceJob
+
+        trace = [
+            TraceJob(arrival=float(i * 20), size=(i % 6) + 1, runtime=15.0)
+            for i in range(40)
+        ]
+        sc = Scenario.from_dict({
+            **SMALL, "workload": "real", "allocs": ["GABL", "MBS"],
+            "sample_interval": 64.0,
+        })
+        serial = sc.run(jobs=1, cache=ResultCache(tmp_path / "s"), trace=trace)
+        pooled = sc.run(jobs=2, cache=ResultCache(tmp_path / "p"), trace=trace)
+        assert serial.trajectories == pooled.trajectories
+        assert serial.metrics == {
+            spec: pooled.metrics[spec] for spec in pooled.points
+        }
+
+    def test_out_of_range_transform_args_fail_at_load(self):
+        for bad in ("uniform | thin:0", "uniform | scale:-1", "real*-0.5"):
+            with pytest.raises(ValueError):
+                Scenario.from_dict({**SMALL, "workload": bad})
+
+    def test_cli_scenario_bad_alloc_exits_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "badalloc.json"
+        bad.write_text(json.dumps({**SMALL, "allocs": ["BOGUS"]}))
+        assert main(["scenario", str(bad)]) == 2
+        assert "allocator" in capsys.readouterr().err
+
+    def test_cli_flags_override_scenario_file(self, capsys):
+        """Explicit --network-mode/--topology flags apply to the run."""
+        from repro.cli import main
+
+        rc = main([
+            "scenario", str(EXAMPLE), "--network-mode", "fast",
+            "--topology", "torus",
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "SCENARIO smoke-mixed" in captured.out
+        assert "network=fast" in captured.err
+        assert "topology=torus" in captured.err
+
+    def test_override_replace_revalidates(self):
+        import dataclasses
+
+        sc = Scenario.load(EXAMPLE)
+        over = dataclasses.replace(
+            sc, network_mode="fast",
+            config={**sc.config, "topology": "torus"},
+        )
+        assert over.sim_config().topology == "torus"
+        assert all(p.network_mode == "fast" for p in over.points())
+        with pytest.raises(ValueError):
+            dataclasses.replace(sc, scale="warp9")
