@@ -14,6 +14,8 @@ Usage::
         -j 4                             # a custom grid campaign
     python -m repro scenario examples/scenario_smoke.json \
         --out results/scenario.json      # a declarative scenario file
+    python -m repro diff baseline.json candidate.json \
+        --fail-on-regress                # statistical report comparison
 
 Figure targets are executed as one deduplicated campaign: cells shared
 between figures (e.g. the uniform sweep behind figs 3/6/9/12/15) are
@@ -51,7 +53,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "targets",
         nargs="+",
         help="figure ids (fig2..fig16), 'all', 'claims', 'point', 'sweep', "
-        "or 'scenario' followed by one or more scenario JSON files",
+        "'scenario' followed by one or more scenario JSON files, or "
+        "'diff' followed by exactly two --out report files",
     )
     p.add_argument(
         "--version",
@@ -118,12 +121,43 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--scheds", default="FCFS", help="sweep: comma-separated schedulers"
     )
-    # 'scenario' options
+    # 'scenario' / 'sweep' / 'diff' options
     p.add_argument(
         "--out",
         default=None,
         metavar="PATH",
-        help="scenario: write the full JSON report (metrics + trajectories)",
+        help="scenario/sweep: write the machine-readable JSON report "
+        "(metrics + replication stats, diffable); diff: write the "
+        "verdict report as JSON",
+    )
+    # 'diff' options
+    p.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="diff: compare only this metric (repeatable; default all "
+        "metrics the two reports share)",
+    )
+    p.add_argument(
+        "--alpha",
+        type=float,
+        default=0.05,
+        help="diff: significance level for Welch's t-test (default 0.05)",
+    )
+    p.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.0,
+        dest="rel_tol",
+        help="diff: relative-delta dead band; deltas within it are "
+        "'indistinguishable' (default 0, exact)",
+    )
+    p.add_argument(
+        "--fail-on-regress",
+        action="store_true",
+        help="diff: exit 1 when any metric verdict is 'regressed' "
+        "(the CI-gate mode)",
     )
     return p
 
@@ -183,6 +217,48 @@ def _run_scenarios(files: Sequence[str], args, trace) -> int:
     return 0
 
 
+def _run_diff(files: Sequence[str], args) -> int:
+    """The ``diff`` target: align, classify, and gate on two reports."""
+    from repro.experiments.diff import DiffError, diff_reports, load_report
+
+    try:
+        report = diff_reports(
+            load_report(files[0]),
+            load_report(files[1]),
+            metrics=args.metric,
+            alpha=args.alpha,
+            rel_tol=args.rel_tol,
+        )
+    except DiffError as exc:
+        print(f"diff error: {exc}", file=sys.stderr)
+        return 2
+    print(report.format())
+    for warning in report.warnings():
+        print(f"warning: {warning}", file=sys.stderr)
+    if args.out:
+        import json
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report.to_dict(), indent=2))
+        print(f"diff report written to {out}")
+    if not report.matched:
+        print(
+            "diff error: the two reports share no points "
+            "(disjoint grids or different configs)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.fail_on_regress and report.regressions:
+        print(
+            f"FAIL: {len(report.regressions)} point(s) regressed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _run_sweep(args, scale, config, trace) -> int:
     if args.workloads is None or args.loads is None:
         print("sweep requires --workloads and --loads", file=sys.stderr)
@@ -212,6 +288,18 @@ def _run_sweep(args, scale, config, trace) -> int:
     for spec in campaign.points:
         print(f"{spec.label()}: {summarize_point(results[spec])}")
     print(f"[sweep: {len(campaign.points)} points, {dt:.1f}s]")
+    if args.out:
+        import json
+        from pathlib import Path
+
+        from repro.experiments.diff import campaign_report
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(
+            campaign_report(campaign.points, results, name="sweep"), indent=2
+        ))
+        print(f"report written to {out}")
     return 0
 
 
@@ -233,6 +321,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             targets.extend(FIGURES)
         else:
             targets.append(t)
+
+    # 'diff' consumes the (exactly two) following targets as report files
+    if "diff" in targets:
+        idx = targets.index("diff")
+        diff_files = targets[idx + 1:]
+        if targets[:idx]:
+            print(
+                "diff cannot be combined with other targets", file=sys.stderr
+            )
+            return 2
+        if len(diff_files) != 2:
+            print(
+                "diff requires exactly two report files "
+                "(repro diff a.json b.json)",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_diff(diff_files, args)
 
     # 'scenario' consumes every following target as a scenario JSON file
     scenario_files: list[str] = []

@@ -3,12 +3,23 @@
 from repro.experiments.figures import COMBOS, FIGURES, FigureSpec, combo_label
 from repro.experiments.campaign import (
     Campaign,
+    PointResult,
     PointSpec,
     ProcessPoolExecutor,
     SerialExecutor,
     make_executor,
     run_spec_replication,
     trace_fingerprint,
+)
+from repro.experiments.diff import (
+    DiffError,
+    DiffReport,
+    LoadedReport,
+    PointDiff,
+    campaign_report,
+    diff_reports,
+    load_report,
+    parse_report,
 )
 from repro.experiments.store import ResultCache, global_cache, reset_global_cache
 from repro.experiments.runner import (
@@ -40,7 +51,16 @@ __all__ = [
     "FigureSpec",
     "combo_label",
     "Campaign",
+    "PointResult",
     "PointSpec",
+    "DiffError",
+    "DiffReport",
+    "LoadedReport",
+    "PointDiff",
+    "campaign_report",
+    "diff_reports",
+    "load_report",
+    "parse_report",
     "Scenario",
     "ScenarioResult",
     "run_trajectory",

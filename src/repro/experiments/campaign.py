@@ -33,9 +33,10 @@ import dataclasses
 import hashlib
 import json
 import os
+from collections.abc import Mapping as _MappingABC
 from concurrent import futures
 from dataclasses import dataclass
-from typing import Callable, Iterable, Protocol, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Protocol, Sequence
 
 from repro.alloc import make_allocator
 from repro.core.config import PAPER_CONFIG, SimConfig
@@ -43,7 +44,8 @@ from repro.core.simulator import Simulator
 from repro.experiments.figures import FIGURES
 from repro.experiments.store import ResultCache, global_cache
 from repro.sched import make_scheduler
-from repro.stats.replication import ReplicationController
+from repro.stats.compare import MetricSummary
+from repro.stats.replication import ReplicationController, ReplicationResult
 from repro.workload.sdsc import synthesize_sdsc_trace
 from repro.workload.stochastic import StochasticWorkload
 from repro.workload.trace import TraceJob, TraceWorkload
@@ -65,6 +67,108 @@ METRICS = (
     "mean_fragments",
     "contiguity_rate",
 )
+
+#: version of the stored / reported point-result payload (schema 1 was a
+#: bare ``{metric: mean}`` dict, still readable; schema 2 adds the
+#: replication summaries the diff subsystem needs)
+RESULT_SCHEMA = 2
+
+
+class PointResult(_MappingABC):
+    """One point's metric means plus their replication summaries.
+
+    Behaves exactly like the plain ``{metric: mean}`` dict it replaces
+    (it *is* a mapping over the means), so every mean-consuming caller
+    is untouched -- but it also carries the per-metric
+    :class:`~repro.stats.compare.MetricSummary` (mean, variance, n) that
+    ``repro diff`` tests with, and round-trips through the result store.
+    """
+
+    __slots__ = ("means", "stats", "replications", "converged")
+
+    def __init__(
+        self,
+        means: Mapping[str, float],
+        stats: Mapping[str, MetricSummary] | None = None,
+        replications: int = 0,
+        converged: bool = True,
+    ) -> None:
+        self.means = dict(means)
+        self.stats = dict(stats) if stats else {}
+        self.replications = replications
+        self.converged = converged
+
+    # ---------------------------------------------------- mapping protocol
+    def __getitem__(self, name: str) -> float:
+        return self.means[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.means)
+
+    def __len__(self) -> int:
+        return len(self.means)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, PointResult):
+            return (
+                self.means == other.means
+                and self.stats == other.stats
+                and self.replications == other.replications
+            )
+        if isinstance(other, _MappingABC):
+            return self.means == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"PointResult({self.means!r}, replications={self.replications})"
+        )
+
+    # ------------------------------------------------------- constructors
+    @classmethod
+    def from_replication(cls, rep: ReplicationResult) -> "PointResult":
+        stats = {
+            name: MetricSummary.from_values(metric.values)
+            for name, metric in rep.metrics.items()
+        }
+        # the summary mean IS the reported mean (same sum/n expression as
+        # the CI module), so the means dict and the stats never disagree
+        return cls(
+            means={name: s.mean for name, s in stats.items()},
+            stats=stats,
+            replications=rep.replications,
+            converged=rep.converged,
+        )
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "PointResult":
+        """Adopt a store/report payload, current or legacy.
+
+        Legacy (schema-1) payloads are bare mean dicts: they load with
+        empty ``stats`` and ``replications=0`` ("unknown"), and the diff
+        subsystem falls back to mean-only classification for them.
+        """
+        if "means" not in payload:
+            return cls(means={k: float(v) for k, v in payload.items()})
+        return cls(
+            means={k: float(v) for k, v in payload["means"].items()},
+            stats={
+                k: MetricSummary.from_dict(v)
+                for k, v in payload.get("stats", {}).items()
+            },
+            replications=int(payload.get("replications", 0)),
+            converged=bool(payload.get("converged", True)),
+        )
+
+    def to_payload(self) -> dict:
+        """JSON-serializable form (the store/report value)."""
+        return {
+            "schema": RESULT_SCHEMA,
+            "means": dict(self.means),
+            "stats": {k: s.to_dict() for k, s in self.stats.items()},
+            "replications": self.replications,
+            "converged": self.converged,
+        }
 
 
 @dataclass(frozen=True, slots=True)
@@ -474,19 +578,20 @@ class Campaign:
         executor: Executor | None = None,
         cache: ResultCache | None = None,
         progress: Callable[[str], None] | None = None,
-    ) -> dict[PointSpec, dict[str, float]]:
-        """Execute every point (replications included); returns metric
-        means per spec.  Results are read from / written to the shared
-        result store, so repeated campaigns and overlapping figure sets
-        only ever simulate a cell once."""
+    ) -> dict[PointSpec, PointResult]:
+        """Execute every point (replications included); returns a
+        :class:`PointResult` (metric means + replication summaries) per
+        spec.  Results are read from / written to the shared result
+        store, so repeated campaigns and overlapping figure sets only
+        ever simulate a cell once."""
         note = progress if progress is not None else (lambda _msg: None)
         store = cache if cache is not None else global_cache()
-        results: dict[PointSpec, dict[str, float]] = {}
+        results: dict[PointSpec, PointResult] = {}
         controllers: dict[PointSpec, ReplicationController] = {}
         for spec in self.points:
             hit = store.get(spec.key())
             if hit is not None:
-                results[spec] = dict(hit)
+                results[spec] = PointResult.from_payload(hit)
             else:
                 controllers[spec] = spec.controller()
         done = len(results)
@@ -540,8 +645,8 @@ class Campaign:
                 submit_batch(spec)
                 return
             rep = ctrl.result()
-            out = {m: rep.mean(m) for m in METRICS}
-            store.put(spec.key(), out)
+            out = PointResult.from_replication(rep)
+            store.put(spec.key(), out.to_payload())
             results[spec] = out
             del controllers[spec]
             done += 1

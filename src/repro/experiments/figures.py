@@ -43,8 +43,16 @@ _REAL_NETWORK_SMOKE = (0.02, 0.05)
 _UNIFORM_SMOKE = (0.005, 0.011)
 _EXPONENTIAL_SMOKE = (0.007, 0.018)
 
-# saturation loads for the utilization bar charts: far past the knee so
-# "the waiting queue is filled very early" (paper section 5)
+#: Saturation loads for the utilization bar charts (Figs. 8-10): one
+#: fixed load per workload, far past the sweep knee, so "the waiting
+#: queue is filled very early" (paper section 5) and utilization reads
+#: its plateau value.  These are hand-picked constants pinned against
+#: the paper's figure axes by ``tests/test_figures_constants.py``: each
+#: must sit strictly beyond its workload's highest swept load above.
+#: The ROADMAP's trajectory-aware stopping rule is intended to *derive*
+#: saturation onset from time-resolved utilization and replace this
+#: table -- the pinning test is the guarded baseline any such change
+#: must reproduce (or consciously update).
 SATURATION_LOADS = {"real": 0.1, "uniform": 0.03, "exponential": 0.05}
 
 

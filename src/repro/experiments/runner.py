@@ -33,6 +33,7 @@ from repro.experiments.campaign import (
     METRICS,
     SCALES,
     Campaign,
+    PointResult,
     PointSpec,
     Scale,
     default_scale,
@@ -49,6 +50,7 @@ __all__ = [
     "SCALES",
     "Campaign",
     "FigureResult",
+    "PointResult",
     "PointSpec",
     "ResultCache",
     "Scale",
@@ -72,8 +74,9 @@ def run_point(
     cache: ResultCache | None = None,
     trace: Sequence[TraceJob] | None = None,
     jobs: int = 1,
-) -> dict[str, float]:
-    """Run (with replications) one point; returns metric means."""
+) -> PointResult:
+    """Run (with replications) one point; returns metric means (a
+    mapping) plus their replication summaries."""
     sc = Scale.by_name(scale) if isinstance(scale, str) else scale
     spec = PointSpec(
         workload=workload, load=load, alloc=alloc, sched=sched,

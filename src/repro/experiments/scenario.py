@@ -44,6 +44,7 @@ from repro.experiments.campaign import (
     _TRACE_FROM_INITIALIZER,
     _set_worker_trace,
     Campaign,
+    PointResult,
     PointSpec,
     Scale,
     build_simulator,
@@ -281,27 +282,32 @@ class ScenarioResult:
 
     scenario: Scenario
     points: tuple[PointSpec, ...]
-    metrics: Mapping[PointSpec, Mapping[str, float]]
+    #: per-point metric means + replication summaries
+    metrics: Mapping[PointSpec, PointResult]
     #: spec label -> TrajectoryObserver.series() (empty when disabled)
     trajectories: Mapping[str, Mapping[str, list]]
 
     def to_dict(self) -> dict:
-        """JSON-serializable report (scenario + per-point results)."""
+        """JSON-serializable report (scenario + per-point results).
+
+        Schema 2: every point embeds its structured cache ``key`` and
+        the per-metric replication summaries (mean, variance, n), which
+        is exactly what ``repro diff`` aligns and tests on.
+        """
+        from repro.experiments.diff import REPORT_SCHEMA, point_payload
+
+        points = []
+        for spec in self.points:
+            entry = point_payload(spec, self.metrics[spec])
+            entry["trajectory"] = dict(self.trajectories.get(spec.label(), {}))
+            points.append(entry)
         return {
+            "schema": REPORT_SCHEMA,
+            "kind": "scenario",
+            "name": self.scenario.name,
             "scenario": self.scenario.to_dict(),
             "fingerprint": self.scenario.fingerprint(),
-            "points": [
-                {
-                    "label": spec.label(),
-                    "workload": spec.workload,
-                    "load": spec.load,
-                    "alloc": spec.alloc,
-                    "sched": spec.sched,
-                    "metrics": dict(self.metrics[spec]),
-                    "trajectory": dict(self.trajectories.get(spec.label(), {})),
-                }
-                for spec in self.points
-            ],
+            "points": points,
             "metric_names": list(METRICS),
         }
 

@@ -95,7 +95,7 @@ class ResultCache:
     """
 
     def __init__(self, path: Path | None = None) -> None:
-        self._mem: dict[str, dict[str, float]] = {}
+        self._mem: dict[str, dict] = {}
         disk_enabled = os.environ.get("REPRO_CACHE", "1") != "0"
         p = Path(path) if path is not None else _default_cache_path()
         if p.suffix == ".json":
@@ -109,7 +109,7 @@ class ResultCache:
             self._import_legacy(legacy)
 
     # ------------------------------------------------------------------ API
-    def get(self, key: str) -> dict[str, float] | None:
+    def get(self, key: str) -> dict | None:
         hit = self._mem.get(key)
         if hit is not None:
             return hit
@@ -120,7 +120,7 @@ class ResultCache:
             self._mem[key] = value
         return value
 
-    def put(self, key: str, value: Mapping[str, float]) -> None:
+    def put(self, key: str, value: Mapping) -> None:
         self._mem[key] = dict(value)
         if self.disk:
             try:
@@ -129,7 +129,7 @@ class ResultCache:
                 self.disk = False  # read-only filesystem: stay in memory
 
     # ---------------------------------------------------------------- disk
-    def _read_shard(self, key: str) -> dict[str, float] | None:
+    def _read_shard(self, key: str) -> dict | None:
         shard = self.path / _shard_name(key)
         try:
             payload = json.loads(shard.read_text())
@@ -141,7 +141,7 @@ class ResultCache:
         value = payload.get("value")
         return dict(value) if isinstance(value, dict) else None
 
-    def _write_shard(self, key: str, value: Mapping[str, float]) -> None:
+    def _write_shard(self, key: str, value: Mapping) -> None:
         self.path.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
         try:

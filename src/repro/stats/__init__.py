@@ -8,6 +8,18 @@ that stopping rule.
 
 from repro.stats.welford import Welford
 from repro.stats.ci import mean_confidence_interval, relative_error
+from repro.stats.compare import (
+    HIGHER_IS_BETTER,
+    VERDICTS,
+    MetricComparison,
+    MetricSummary,
+    WelchResult,
+    ci_overlap,
+    compare_metric,
+    relative_delta,
+    welch_t_test,
+    worst_verdict,
+)
 from repro.stats.replication import (
     ReplicatedMetric,
     ReplicationController,
@@ -19,6 +31,16 @@ __all__ = [
     "Welford",
     "mean_confidence_interval",
     "relative_error",
+    "HIGHER_IS_BETTER",
+    "VERDICTS",
+    "MetricComparison",
+    "MetricSummary",
+    "WelchResult",
+    "ci_overlap",
+    "compare_metric",
+    "relative_delta",
+    "welch_t_test",
+    "worst_verdict",
     "ReplicatedMetric",
     "ReplicationController",
     "ReplicationResult",

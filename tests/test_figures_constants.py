@@ -1,0 +1,54 @@
+"""Pins the figure registry's hand-calibrated constants.
+
+``SATURATION_LOADS`` is the guarded baseline the ROADMAP's future
+trajectory-aware stopping rule must reproduce (or consciously update):
+these tests pin the exact values and their relationship to the paper's
+figure axes, so any drift is a deliberate, reviewed change."""
+
+from repro.experiments.figures import (
+    FIGURES,
+    SATURATION_LOADS,
+    WORKLOADS,
+)
+
+
+class TestSaturationLoads:
+    def test_pinned_values(self):
+        """The exact constants (paper section 5: utilization is read at a
+        load where 'the waiting queue is filled very early')."""
+        assert SATURATION_LOADS == {
+            "real": 0.1,
+            "uniform": 0.03,
+            "exponential": 0.05,
+        }
+
+    def test_one_load_per_workload(self):
+        assert set(SATURATION_LOADS) == set(WORKLOADS)
+
+    def test_sits_beyond_every_swept_axis(self):
+        """Each saturation load lies strictly past the highest load any
+        line-chart figure sweeps for that workload -- i.e. past the knee
+        the paper's x axes end at."""
+        for workload, sat_load in SATURATION_LOADS.items():
+            swept = [
+                max(spec.loads)
+                for spec in FIGURES.values()
+                if spec.workload == workload and not spec.saturation
+            ]
+            assert swept, f"no line-chart figures for {workload}"
+            assert sat_load > max(swept), (
+                f"{workload}: saturation load {sat_load} must exceed the "
+                f"swept axis maximum {max(swept)}"
+            )
+
+    def test_bar_chart_figures_use_exactly_these_loads(self):
+        """Figs. 8-10 are the utilization bar charts: one cell, at the
+        pinned saturation load, at every scale preset."""
+        bars = {"fig8": "real", "fig9": "uniform", "fig10": "exponential"}
+        for fig_id, workload in bars.items():
+            spec = FIGURES[fig_id]
+            assert spec.saturation
+            assert spec.workload == workload
+            expected = (SATURATION_LOADS[workload],)
+            assert spec.loads == expected
+            assert spec.smoke_loads == expected

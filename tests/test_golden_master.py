@@ -1,0 +1,94 @@
+"""Golden-master regression harness.
+
+``tests/golden/*.json`` are frozen ``--out`` reports (see the README
+there).  These tests re-run the same experiments from scratch and assert
+``repro diff`` verdict ``identical`` -- bit-for-bit equality of every
+metric mean -- then prove the harness has teeth by perturbing a metric
+and requiring ``regressed`` plus a nonzero exit under
+``--fail-on-regress`` (the acceptance path the CI gate relies on).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.diff import diff_reports, load_report
+
+GOLDEN = Path(__file__).resolve().parent / "golden"
+EXAMPLE = Path(__file__).resolve().parent.parent / "examples" / "scenario_smoke.json"
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Fresh result store: golden runs must re-simulate, not replay."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    from repro.experiments.store import reset_global_cache
+
+    reset_global_cache()
+    yield
+    reset_global_cache()
+
+
+def _assert_all_identical(golden: Path, fresh: Path) -> None:
+    report = diff_reports(load_report(golden), load_report(fresh))
+    assert report.matched, "reports did not align on any point"
+    assert not report.only_a and not report.only_b
+    for point in report.matched:
+        for comp in point.comparisons.values():
+            assert comp.verdict == "identical", (
+                f"{point.label} {comp.metric}: "
+                f"{comp.a.mean!r} -> {comp.b.mean!r} ({comp.verdict})"
+            )
+
+
+def test_scenario_smoke_matches_golden(tmp_path):
+    fresh = tmp_path / "fresh.json"
+    assert main(["scenario", str(EXAMPLE), "--out", str(fresh)]) == 0
+    _assert_all_identical(GOLDEN / "scenario_smoke.json", fresh)
+    # and the CLI gate agrees, with exit code 0
+    assert main([
+        "diff", str(GOLDEN / "scenario_smoke.json"), str(fresh),
+        "--fail-on-regress",
+    ]) == 0
+
+
+def test_fig9_cell_matches_golden(tmp_path):
+    fresh = tmp_path / "fresh.json"
+    assert main([
+        "sweep", "--workloads", "uniform", "--loads", "0.03",
+        "--allocs", "GABL", "--scheds", "FCFS", "--scale", "smoke",
+        "--out", str(fresh),
+    ]) == 0
+    _assert_all_identical(GOLDEN / "fig9_cell.json", fresh)
+    assert main([
+        "diff", str(GOLDEN / "fig9_cell.json"), str(fresh),
+        "--fail-on-regress",
+    ]) == 0
+
+
+def test_perturbed_metric_regresses_and_gates(tmp_path, capsys):
+    """Injecting drift into a frozen report MUST trip the gate."""
+    golden = GOLDEN / "scenario_smoke.json"
+    perturbed = tmp_path / "perturbed.json"
+    doc = json.loads(golden.read_text())
+    point = doc["points"][0]
+    point["metrics"]["mean_turnaround"] *= 1.05
+    point["stats"]["mean_turnaround"]["mean"] *= 1.05
+    perturbed.write_text(json.dumps(doc))
+
+    rc = main(["diff", str(golden), str(perturbed), "--fail-on-regress"])
+    out = capsys.readouterr()
+    assert rc == 1
+    assert "regressed" in out.out
+    assert "FAIL" in out.err
+    # without the gate flag the diff still reports, but exits 0
+    assert main(["diff", str(golden), str(perturbed)]) == 0
+    # an *improvement* (turnaround down) must not trip --fail-on-regress
+    doc["points"][0]["metrics"]["mean_turnaround"] /= 1.1025
+    doc["points"][0]["stats"]["mean_turnaround"]["mean"] /= 1.1025
+    perturbed.write_text(json.dumps(doc))
+    assert main(["diff", str(golden), str(perturbed), "--fail-on-regress"]) == 0
