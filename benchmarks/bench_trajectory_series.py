@@ -1,0 +1,66 @@
+"""Trajectory-series micro-costs: resample/diff/detect on long series.
+
+Guards the series utilities behind ``repro diff --trajectories`` and
+``--auto-saturation``: paper-scale scenario runs sample tens of
+thousands of grid points per trajectory, and the differ touches every
+series of every matched point, so the union-grid resample + band check
+must stay O(n log n) in practice.  A correctness assertion rides along:
+the diff of a series against its perturbed copy must localise the
+deviation exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.stats.series import detect_saturation, diff_series
+
+N = 20_000  #: samples per synthetic trajectory (paper-scale run)
+
+
+def _trajectory(n: int = N, phase: float = 0.0) -> tuple[list[float], list[float]]:
+    """A deterministic saturating-utilization-like series."""
+    times = [64.0 * i for i in range(n)]
+    values = [
+        0.8 * (1.0 - math.exp(-i / 500.0))
+        + 0.05 * math.sin(i / 37.0 + phase)
+        for i in range(n)
+    ]
+    return times, values
+
+
+def test_diff_series_long(benchmark):
+    """Union-grid resample + deviation + band check on 20k samples."""
+    ta, va = _trajectory()
+    tb, vb = _trajectory()
+    vb[N // 2] += 0.25  # one mid-series spike to localise
+
+    result = benchmark(
+        diff_series, "utilization", ta, va, tb, vb, 0.0, 0.01
+    )
+    assert result.verdict == "diverged"
+    assert result.max_at == ta[N // 2]
+    assert result.exceedances == 1
+
+
+def test_diff_series_offset_grids(benchmark):
+    """Worst case: disjoint grids double the union size."""
+    ta, va = _trajectory()
+    tb, vb = _trajectory()
+    tb = [t + 32.0 for t in tb]  # staggered: no shared grid points
+
+    result = benchmark(
+        diff_series, "utilization", ta, va, tb, vb, 0.2, 0.0
+    )
+    assert result.n == 2 * N
+    assert result.verdict == "within_band"
+
+
+def test_detect_saturation_long(benchmark):
+    """The online plateau scan over a full-length utilization series."""
+    _, values = _trajectory()
+    queue = [float(i) for i in range(N)]  # monotone backlog signal
+
+    idx = benchmark(detect_saturation, values, queue, 0.03, 2)
+    assert idx is not None
+    assert 0 < idx < N

@@ -16,6 +16,12 @@ Usage::
         --out results/scenario.json      # a declarative scenario file
     python -m repro diff baseline.json candidate.json \
         --fail-on-regress                # statistical report comparison
+    python -m repro diff baseline.json candidate.json \
+        --trajectories --fail-on-regress # ... also gate on run *shape*
+    python -m repro fig9 --auto-saturation --out report.json
+                                         # detect the saturation knee
+    python -m repro plot results/scenario.json --metric utilization \
+        --compare other.json --png out.png   # trajectory/sweep charts
 
 Figure targets are executed as one deduplicated campaign: cells shared
 between figures (e.g. the uniform sweep behind figs 3/6/9/12/15) are
@@ -41,6 +47,48 @@ from repro.workload.swf import load_swf
 from repro.workload.transforms import SpecError
 
 
+#: per-target contracts: report schema written by --out and exit codes.
+#: Shown in --help (and audited by tests/test_cli.py): every target that
+#: writes a report names its schema here, and every nonzero exit is
+#: documented.  Report schemas: 1 = pre-1.3 scenario reports (no point
+#: keys; rejected by diff), 2 = point keys + replication summaries,
+#: 3 = current (embedded trajectory series + saturation block).
+_TARGET_CONTRACTS = """\
+targets and their contracts (report schemas: 1 legacy, 2 keys+stats,
+3 current = 2 + embedded trajectory series + saturation block):
+
+  fig2..fig16, all   regenerate paper figures as text tables.
+                     exit 0 done; 2 unknown target/bad arguments.
+                     with --auto-saturation, fig8/9/10 detect their
+                     saturation load and --out writes a schema-3
+                     figures report embedding the scan.
+  claims             verify the paper's headline claims.
+                     exit 0 all pass; 1 a claim failed.
+  point              one cell (--workload, --load [--alloc --sched]).
+                     exit 0 done; 2 missing/bad parameters.
+  sweep              grid campaign (--workloads, --loads, ...).
+                     --out writes a schema-3 campaign report.
+                     exit 0 done; 2 missing/bad grid parameters.
+  scenario FILE...   run declarative scenario JSON files.
+                     --out writes a schema-3 scenario report (with
+                     trajectory series when 'sample_interval' is set;
+                     with a saturation block under --auto-saturation).
+                     exit 0 done; 2 bad scenario file.
+  diff A.json B.json statistical comparison of two --out reports
+                     (schemas 2 and 3 readable; --trajectories needs
+                     schema-3 embedded series).  --out writes a
+                     schema-3 diff report.
+                     exit 0 clean; 1 regression (regressed mean or
+                     diverged trajectory) under --fail-on-regress;
+                     2 malformed/old-schema reports or disjoint grids.
+  plot REPORT.json   ASCII charts of a schema-2/3 report (trajectory
+                     series and per-load sweep curves); --compare
+                     overlays a second report, --png adds a PNG when
+                     matplotlib is importable.
+                     exit 0 rendered; 2 unreadable report.
+"""
+
+
 def _build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro-mesh",
@@ -48,13 +96,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reproduce Bani-Mohammad et al. (IPDPS 2008): allocation and "
             "scheduling in 2D mesh multicomputers."
         ),
+        epilog=_TARGET_CONTRACTS,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     p.add_argument(
         "targets",
         nargs="+",
         help="figure ids (fig2..fig16), 'all', 'claims', 'point', 'sweep', "
-        "'scenario' followed by one or more scenario JSON files, or "
-        "'diff' followed by exactly two --out report files",
+        "'scenario' followed by one or more scenario JSON files, "
+        "'diff' followed by exactly two --out report files, or "
+        "'plot' followed by one --out report file",
     )
     p.add_argument(
         "--version",
@@ -126,9 +177,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         metavar="PATH",
-        help="scenario/sweep: write the machine-readable JSON report "
-        "(metrics + replication stats, diffable); diff: write the "
-        "verdict report as JSON",
+        help="scenario/sweep/auto-saturation figures: write the "
+        "machine-readable schema-3 JSON report (metrics + replication "
+        "stats + trajectory series, diffable); diff: write the verdict "
+        "report as JSON",
     )
     # 'diff' options
     p.add_argument(
@@ -156,8 +208,54 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--fail-on-regress",
         action="store_true",
-        help="diff: exit 1 when any metric verdict is 'regressed' "
-        "(the CI-gate mode)",
+        help="diff: exit 1 when any metric verdict is 'regressed' or any "
+        "trajectory series 'diverged' (the CI-gate mode)",
+    )
+    p.add_argument(
+        "--trajectories",
+        action="store_true",
+        help="diff: also compare the embedded trajectory series "
+        "(schema-3 reports) sample by sample on a common grid",
+    )
+    p.add_argument(
+        "--traj-atol",
+        type=float,
+        default=0.0,
+        dest="traj_atol",
+        help="diff: absolute per-sample tolerance band for --trajectories "
+        "(default 0, exact)",
+    )
+    p.add_argument(
+        "--traj-rtol",
+        type=float,
+        default=0.0,
+        dest="traj_rtol",
+        help="diff: relative per-sample tolerance band for --trajectories "
+        "(fraction of the baseline sample; default 0, exact)",
+    )
+    # saturation options
+    p.add_argument(
+        "--auto-saturation",
+        action="store_true",
+        dest="auto_saturation",
+        help="detect the saturation load from a utilization load ladder "
+        "instead of the fixed SATURATION_LOADS constants "
+        "(fig8/9/10 and scenario targets); the scan lands in --out "
+        "reports' 'saturation' block",
+    )
+    # 'plot' options
+    p.add_argument(
+        "--compare",
+        default=None,
+        metavar="REPORT",
+        help="plot: overlay this second --out report on the same axes",
+    )
+    p.add_argument(
+        "--png",
+        default=None,
+        metavar="PATH",
+        help="plot: also write a PNG (needs matplotlib; ASCII is always "
+        "rendered)",
     )
     return p
 
@@ -196,7 +294,10 @@ def _run_scenarios(files: Sequence[str], args, trace) -> int:
             f"topology={scenario.sim_config().topology}, jobs={args.jobs}"
         )
         t0 = time.perf_counter()
-        result = scenario.run(jobs=args.jobs, trace=trace, progress=_progress)
+        result = scenario.run(
+            jobs=args.jobs, trace=trace, progress=_progress,
+            auto_saturation=args.auto_saturation,
+        )
         dt = time.perf_counter() - t0
         print(result.format())
         print(f"[scenario {scenario.name}: {len(result.points)} points, {dt:.1f}s]")
@@ -228,6 +329,9 @@ def _run_diff(files: Sequence[str], args) -> int:
             metrics=args.metric,
             alpha=args.alpha,
             rel_tol=args.rel_tol,
+            trajectories=args.trajectories,
+            traj_atol=args.traj_atol,
+            traj_rtol=args.traj_rtol,
         )
     except DiffError as exc:
         print(f"diff error: {exc}", file=sys.stderr)
@@ -256,6 +360,66 @@ def _run_diff(files: Sequence[str], args) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _run_plot(files: Sequence[str], args) -> int:
+    """The ``plot`` target: render a report's series as charts."""
+    from repro.experiments.diff import DiffError, load_report
+    from repro.experiments.plot import plot_report
+
+    try:
+        report = load_report(files[0])
+        compare = load_report(args.compare) if args.compare else None
+    except DiffError as exc:
+        print(f"plot error: {exc}", file=sys.stderr)
+        return 2
+    print(plot_report(
+        report, metrics=args.metric, compare=compare, png=args.png,
+    ))
+    return 0
+
+
+def _run_auto_saturation_figures(
+    fig_targets: Sequence[str], args, scale, config, trace
+) -> int:
+    """Saturation figures under ``--auto-saturation``: scan, run, report."""
+    import json
+    from pathlib import Path
+
+    from repro.experiments.diff import campaign_report
+    from repro.experiments.trajectory import run_saturation_figure
+
+    all_points: dict = {}
+    scans = []
+    for fig_id in fig_targets:
+        t0 = time.perf_counter()
+        figure, scan, points = run_saturation_figure(
+            fig_id, scale=scale, config=config,
+            network_mode=args.network_mode, trace=trace, jobs=args.jobs,
+        )
+        dt = time.perf_counter() - t0
+        print(scan.format())
+        if not scan.saturated:
+            print(
+                f"note: falling back to the pinned saturation load for "
+                f"{fig_id}",
+                file=sys.stderr,
+            )
+        print(format_figure(figure))
+        if args.plot:
+            print(ascii_plot(figure))
+        print(f"[{fig_id}: scale={scale}, auto-saturation, {dt:.1f}s]\n")
+        scans.append({"figure": fig_id, **scan.to_dict()})
+        all_points.update(points)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(campaign_report(
+            tuple(all_points), all_points,
+            name="auto-saturation", kind="figures", saturation=scans,
+        ), indent=2))
+        print(f"report written to {out}")
     return 0
 
 
@@ -340,6 +504,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
         return _run_diff(diff_files, args)
 
+    # 'plot' consumes the (exactly one) following target as a report file
+    if "plot" in targets:
+        idx = targets.index("plot")
+        plot_files = targets[idx + 1:]
+        if targets[:idx]:
+            print(
+                "plot cannot be combined with other targets", file=sys.stderr
+            )
+            return 2
+        if len(plot_files) != 1:
+            print(
+                "plot requires exactly one report file "
+                "(repro plot report.json [--compare other.json])",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_plot(plot_files, args)
+
     # 'scenario' consumes every following target as a scenario JSON file
     scenario_files: list[str] = []
     if "scenario" in targets:
@@ -349,6 +531,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         if not scenario_files:
             print("scenario requires at least one JSON file", file=sys.stderr)
             return 2
+
+    # under --auto-saturation the saturation bar charts (fig8/9/10) are
+    # run at their *detected* knee instead of the pinned constant, so
+    # they leave the fixed-load union campaign below
+    auto_sat_figs: list[str] = []
+    if args.auto_saturation:
+        auto_sat_figs = [
+            t for t in targets if t in FIGURES and FIGURES[t].saturation
+        ]
+        targets = [t for t in targets if t not in auto_sat_figs]
 
     # run the union of all requested figures as ONE deduplicated campaign
     # (shared sweeps simulate once; -j parallelises across every cell)
@@ -412,6 +604,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.plot:
             print(ascii_plot(result))
         print(f"[{target}: scale={scale}, {dt:.1f}s]\n")
+
+    if auto_sat_figs:
+        rc = _run_auto_saturation_figures(
+            auto_sat_figs, args, scale, config, trace
+        )
+        if rc != 0:
+            return rc
 
     if scenario_files:
         rc = _run_scenarios(scenario_files, args, trace)

@@ -24,6 +24,11 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.job import Job
 
+#: the keys every :meth:`TrajectoryObserver.series` export carries, in
+#: order (``utilization`` is appended when ``processors`` is known); the
+#: stable contract report consumers key on
+SERIES_KEYS: tuple[str, ...] = ("times", "queue_length", "busy", "completed")
+
 
 class SimObserver:
     """Base observer: every hook defaults to a no-op.
@@ -56,11 +61,25 @@ class TrajectoryObserver(SimObserver):
 
     Samples are taken on a fixed grid every ``sample_interval`` time
     units.  The observer is event-driven: whenever a hook fires it first
-    emits samples for every grid point that the clock has passed --
+    emits samples for every grid point that the clock has reached --
     carrying the pre-event state forward, since nothing changed between
-    events -- and only then folds in the new event.  ``on_end`` flushes
-    the grid up to the final clock value, so a finished run always has
-    ``floor(sim_time / sample_interval) + 1`` samples (including t=0).
+    events -- and only then folds in the new event.
+
+    The sampling contract (pinned by ``tests/test_core_hooks.py`` and
+    documented in ``docs/scenarios.md``):
+
+    * a sample at grid time ``g`` records the state at ``g^-`` -- after
+      every event strictly before ``g`` and before any event at exactly
+      ``g``.  In particular the **t=0 sample is always the empty
+      system** (queue 0, busy 0, completed 0), even when the first
+      arrival occurs at t=0;
+    * ``on_end`` flushes the remaining grid up to the final clock value,
+      so the state after the last event is carried forward through the
+      **tail** (e.g. a ``max_time`` cutoff long after the final
+      completion still yields samples through the cutoff);
+    * a finished run always has exactly
+      ``floor(final_clock / sample_interval) + 1`` samples, t=0
+      included.
 
     Series (parallel lists, one entry per grid point):
 
@@ -102,13 +121,13 @@ class TrajectoryObserver(SimObserver):
         self._next = 0.0
 
     # ------------------------------------------------------------ sampling
-    def _sample_until(self, now: float, inclusive: bool = False) -> None:
-        """Emit samples for grid points passed by the clock.
+    def _sample_until(self, now: float) -> None:
+        """Emit samples for every grid point the clock has reached.
 
-        State changes carried by the current event apply *at* ``now``, so
-        a grid point equal to ``now`` is emitted with the new state by
-        the next hook (or by ``on_end``, which is inclusive)."""
-        while self._next < now or (inclusive and self._next <= now):
+        Hooks flush the grid *before* folding in their event, so a grid
+        point equal to ``now`` is emitted with the pre-event state: each
+        sample at time ``g`` is the state at ``g^-``."""
+        while self._next <= now:
             self.times.append(self._next)
             self.queue_length.append(self._queue)
             self.busy.append(self._busy)
@@ -117,23 +136,29 @@ class TrajectoryObserver(SimObserver):
 
     # --------------------------------------------------------------- hooks
     def on_arrival(self, now: float, job, queue_length: int) -> None:
+        """Flush the grid, then record the post-arrival queue length."""
         self._sample_until(now)
         self._queue = queue_length
 
     def on_start(self, now: float, job, queue_length: int) -> None:
+        """Flush the grid, then record the post-start queue length."""
         self._sample_until(now)
         self._queue = queue_length
 
     def on_complete(self, now: float, job) -> None:
+        """Flush the grid, then count the completion."""
         self._sample_until(now)
         self._completed += 1
 
     def on_busy_change(self, now: float, delta: int) -> None:
+        """Flush the grid, then apply the busy-processor delta."""
         self._sample_until(now)
         self._busy += delta
 
     def on_end(self, now: float) -> None:
-        self._sample_until(now, inclusive=True)
+        """Flush the tail: carry the final state through the last grid
+        point at or before the run's final clock value."""
+        self._sample_until(now)
 
     # -------------------------------------------------------------- output
     def utilization(self) -> list[float]:
@@ -143,7 +168,15 @@ class TrajectoryObserver(SimObserver):
         return [b / self.processors for b in self.busy]
 
     def series(self) -> dict[str, list]:
-        """All series as a JSON-serializable dict."""
+        """All series as a JSON-serializable dict -- the stable export.
+
+        This is the trajectory payload embedded in scenario ``--out``
+        reports and consumed by ``repro diff --trajectories`` and
+        ``repro plot``: the keys are exactly :data:`SERIES_KEYS` (plus
+        ``utilization`` whenever ``processors`` is known), every value
+        is a plain list, and all lists are parallel to ``times``.
+        Downstream tooling may rely on this shape.
+        """
         out: dict[str, list] = {
             "times": list(self.times),
             "queue_length": list(self.queue_length),

@@ -33,6 +33,14 @@ from repro.experiments.runner import (
     sdsc_trace,
 )
 from repro.experiments.scenario import Scenario, ScenarioResult, run_trajectory
+from repro.experiments.trajectory import (
+    SaturationScan,
+    diff_trajectories,
+    run_saturation_figure,
+    scan_saturation,
+    trajectory_verdict,
+)
+from repro.experiments.plot import Chart, plot_report, report_charts
 from repro.experiments.claims import ClaimReport, ClaimResult, verify_all
 from repro.experiments.report import (
     ascii_plot,
@@ -64,6 +72,14 @@ __all__ = [
     "Scenario",
     "ScenarioResult",
     "run_trajectory",
+    "SaturationScan",
+    "diff_trajectories",
+    "run_saturation_figure",
+    "scan_saturation",
+    "trajectory_verdict",
+    "Chart",
+    "plot_report",
+    "report_charts",
     "ProcessPoolExecutor",
     "SerialExecutor",
     "make_executor",

@@ -127,6 +127,7 @@ class PointResult(_MappingABC):
     # ------------------------------------------------------- constructors
     @classmethod
     def from_replication(cls, rep: ReplicationResult) -> "PointResult":
+        """Adopt a finished replication batch's per-metric summaries."""
         stats = {
             name: MetricSummary.from_values(metric.values)
             for name, metric in rep.metrics.items()
@@ -183,6 +184,7 @@ class Scale:
 
     @classmethod
     def by_name(cls, name: str) -> "Scale":
+        """Look a preset up in :data:`SCALES`; KeyError names the options."""
         try:
             return SCALES[name]
         except KeyError:
@@ -363,6 +365,7 @@ class PointSpec:
         )
 
     def controller(self) -> ReplicationController:
+        """A fresh replication controller honouring this spec's bounds."""
         lo, hi = self.replication_bounds
         return ReplicationController(
             METRICS,
@@ -437,9 +440,13 @@ class Executor(Protocol):
 
     jobs: int
 
-    def submit(self, fn: Callable, task) -> futures.Future: ...
+    def submit(self, fn: Callable, task) -> futures.Future:
+        """Schedule ``fn(task)``; the future resolves to its result."""
+        ...
 
-    def close(self) -> None: ...
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+        ...
 
 
 class SerialExecutor:
@@ -453,6 +460,7 @@ class SerialExecutor:
     jobs = 1
 
     def submit(self, fn: Callable, task) -> futures.Future:
+        """Run ``fn(task)`` now; return the already-resolved future."""
         fut: futures.Future = futures.Future()
         try:
             fut.set_result(fn(task))
@@ -461,7 +469,7 @@ class SerialExecutor:
         return fut
 
     def close(self) -> None:
-        pass
+        """Nothing to release for in-process execution."""
 
 
 class ProcessPoolExecutor:
@@ -482,6 +490,7 @@ class ProcessPoolExecutor:
         self._pool: futures.ProcessPoolExecutor | None = None
 
     def submit(self, fn: Callable, task) -> futures.Future:
+        """Submit ``fn(task)`` to the pool (started lazily on first use)."""
         if self._pool is None:
             self._pool = futures.ProcessPoolExecutor(
                 max_workers=self.jobs,
@@ -491,6 +500,7 @@ class ProcessPoolExecutor:
         return self._pool.submit(fn, task)
 
     def close(self) -> None:
+        """Shut the pool down (a later submit would restart it)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None

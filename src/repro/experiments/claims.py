@@ -44,9 +44,11 @@ class ClaimReport:
 
     @property
     def passed(self) -> bool:
+        """Whether every claim held."""
         return all(r.passed for r in self.results)
 
     def format(self) -> str:
+        """Human-readable PASS/FAIL table with per-claim evidence."""
         lines = [f"paper-claim verification (scale={self.scale})"]
         for r in self.results:
             mark = "PASS" if r.passed else "FAIL"

@@ -11,6 +11,13 @@ with :func:`repro.stats.compare.compare_metric`:
 * ``improved``/``regressed`` -- significant, signed by the metric's
   orientation (utilization up is good, turnaround up is bad).
 
+With ``--trajectories`` the comparison also covers the *shape* of each
+run: the trajectory series scenario reports embed (queue length,
+utilization, throughput vs. time) are resampled onto a common grid and
+classified per sample (:mod:`repro.experiments.trajectory`), so a
+golden master pins dynamics a scalar mean cannot see.  A diverged
+series gates exactly like a regressed mean.
+
 Alignment tolerates grid subsets/supersets: points present on only one
 side are reported, not fatal, so a widened sweep can still be compared
 against an older baseline.  A report written before schema 2 (no
@@ -20,18 +27,20 @@ regenerate it with a current ``--out``.
 CLI::
 
     repro diff a.json b.json [--metric M ...] [--alpha A] [--rel-tol T]
+               [--trajectories] [--traj-atol T] [--traj-rtol T]
                [--fail-on-regress] [--out diff.json]
 
 Exit codes: ``0`` clean (or differences without ``--fail-on-regress``),
-``1`` at least one ``regressed`` verdict under ``--fail-on-regress``,
-``2`` malformed/old-schema reports or disjoint grids -- usable directly
-as a CI gate.
+``1`` at least one ``regressed`` verdict (a regressed mean *or* a
+diverged trajectory) under ``--fail-on-regress``, ``2`` malformed or
+old-schema reports, disjoint grids, or ``--trajectories`` against
+reports with no embedded series -- usable directly as a CI gate.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Sequence
 
@@ -44,10 +53,17 @@ from repro.stats.compare import (
     compare_metric,
     worst_verdict,
 )
+from repro.stats.series import SeriesDiff
 
-#: report schema this differ reads and writes (schema 1 = the pre-1.3
-#: scenario reports without point keys or replication summaries)
-REPORT_SCHEMA = 2
+#: report schema this differ reads and writes.  Schema 1 = the pre-1.3
+#: scenario reports without point keys or replication summaries
+#: (rejected); schema 2 added point keys + replication summaries;
+#: schema 3 (current) embeds trajectory series per point and an optional
+#: top-level ``saturation`` block.  Schema-2 reports remain readable.
+REPORT_SCHEMA = 3
+
+#: oldest report schema :func:`parse_report` still accepts
+MIN_REPORT_SCHEMA = 2
 
 
 class DiffError(ValueError):
@@ -60,19 +76,43 @@ def campaign_report(
     results: Mapping[PointSpec, PointResult],
     name: str = "campaign",
     kind: str = "campaign",
+    trajectories: Mapping[str, Mapping] | None = None,
+    saturation: Mapping | Sequence[Mapping] | None = None,
 ) -> dict:
     """The machine-readable report for a set of campaign points.
 
     This is the ``sweep --out`` format; scenario reports embed the same
     per-point payload (plus trajectories) so ``repro diff`` reads both.
+
+    Args:
+        points: the report's point specs, in order.
+        results: per-spec results.
+        name: report name (shown in diff headers).
+        kind: report kind tag (``campaign``/``figures``/...).
+        trajectories: optional ``{spec.label(): series}`` trajectory
+            payloads to embed per point.
+        saturation: optional saturation-scan block(s)
+            (:meth:`~repro.experiments.trajectory.SaturationScan.to_dict`).
+
+    Returns:
+        A schema-``REPORT_SCHEMA`` report document.
     """
-    return {
+    entries = []
+    for spec in points:
+        entry = point_payload(spec, results[spec])
+        if trajectories:
+            entry["trajectory"] = dict(trajectories.get(spec.label(), {}))
+        entries.append(entry)
+    report = {
         "schema": REPORT_SCHEMA,
         "kind": kind,
         "name": name,
         "metric_names": list(METRICS),
-        "points": [point_payload(spec, results[spec]) for spec in points],
+        "points": entries,
     }
+    if saturation is not None:
+        report["saturation"] = saturation
+    return report
 
 
 def point_payload(spec: PointSpec, result: PointResult) -> dict:
@@ -99,13 +139,20 @@ def point_payload(spec: PointSpec, result: PointResult) -> dict:
 
 @dataclass(frozen=True, slots=True)
 class ReportPoint:
-    """One parsed report point (identity + metric summaries)."""
+    """One parsed report point (identity + metric summaries + series)."""
 
     key: str
     label: str
     metrics: Mapping[str, float]
     stats: Mapping[str, MetricSummary]
     replications: int
+    #: grid coordinates, when the report carries them (schema >= 2 does)
+    workload: str | None = None
+    load: float | None = None
+    alloc: str | None = None
+    sched: str | None = None
+    #: embedded trajectory series (schema 3); empty when none recorded
+    trajectory: Mapping[str, list] = field(default_factory=dict)
 
     def summary(self, metric: str) -> MetricSummary:
         """The metric's replication summary; a mean-only report entry
@@ -125,16 +172,24 @@ class LoadedReport:
     kind: str
     source: str
     points: tuple[ReportPoint, ...]
+    #: the report's saturation-scan block(s), verbatim (schema 3)
+    saturation: Mapping | Sequence | None = None
 
     def by_key(self) -> dict[str, ReportPoint]:
+        """Index the points by their structured cache key."""
         return {p.key: p for p in self.points}
 
     def metric_names(self) -> tuple[str, ...]:
+        """Every metric name any point carries, in first-seen order."""
         seen: dict[str, None] = {}
         for p in self.points:
             for m in p.metrics:
                 seen.setdefault(m)
         return tuple(seen)
+
+    def has_trajectories(self) -> bool:
+        """Whether any point embeds a non-empty trajectory."""
+        return any(p.trajectory.get("times") for p in self.points)
 
 
 def parse_report(data, source: str = "<dict>") -> LoadedReport:
@@ -148,10 +203,11 @@ def parse_report(data, source: str = "<dict>") -> LoadedReport:
             f"{source}: no 'schema' field -- this report predates "
             "repro 1.3; regenerate it with a current --out"
         )
-    if not isinstance(schema, int) or schema < 2 or schema > REPORT_SCHEMA:
+    if (not isinstance(schema, int) or schema < MIN_REPORT_SCHEMA
+            or schema > REPORT_SCHEMA):
         raise DiffError(
-            f"{source}: unsupported report schema {schema!r} "
-            f"(this build reads schema {REPORT_SCHEMA})"
+            f"{source}: unsupported report schema {schema!r} (this build "
+            f"reads schemas {MIN_REPORT_SCHEMA}..{REPORT_SCHEMA})"
         )
     raw_points = data.get("points")
     if not isinstance(raw_points, list):
@@ -175,12 +231,38 @@ def parse_report(data, source: str = "<dict>") -> LoadedReport:
             }
         except (TypeError, ValueError, KeyError) as exc:
             raise DiffError(f"{where} has malformed values: {exc}") from None
+        trajectory = entry.get("trajectory")
+        if trajectory is not None and not isinstance(trajectory, Mapping):
+            raise DiffError(f"{where} has a non-object 'trajectory'")
+        if trajectory:
+            # a malformed trajectory must be a parse error (exit 2), not
+            # a traceback from inside the differ (which exit-1s under
+            # --fail-on-regress and would read as a fake regression)
+            times = trajectory.get("times")
+            if not isinstance(times, list):
+                raise DiffError(
+                    f"{where} trajectory has no 'times' list"
+                )
+            for series_name, series_values in trajectory.items():
+                if (not isinstance(series_values, list)
+                        or len(series_values) != len(times)):
+                    raise DiffError(
+                        f"{where} trajectory series {series_name!r} is "
+                        f"not a list parallel to 'times' "
+                        f"({len(times)} samples)"
+                    )
+        load = entry.get("load")
         points.append(ReportPoint(
             key=key,
             label=str(entry.get("label", key)),
             metrics=parsed_metrics,
             stats=stats,
             replications=int(entry.get("replications", 0)),
+            workload=entry.get("workload"),
+            load=float(load) if load is not None else None,
+            alloc=entry.get("alloc"),
+            sched=entry.get("sched"),
+            trajectory=dict(trajectory) if trajectory else {},
         ))
     name = data.get("name")
     if not isinstance(name, str) or not name:
@@ -194,6 +276,7 @@ def parse_report(data, source: str = "<dict>") -> LoadedReport:
         kind=str(data.get("kind", "report")),
         source=source,
         points=tuple(points),
+        saturation=data.get("saturation"),
     )
 
 
@@ -214,19 +297,29 @@ def load_report(path: str | Path) -> LoadedReport:
 # --------------------------------------------------------------- the differ
 @dataclass(frozen=True, slots=True)
 class PointDiff:
-    """All metric comparisons of one matched point."""
+    """All metric (and trajectory) comparisons of one matched point."""
 
     key: str
     label: str
     comparisons: Mapping[str, MetricComparison]
+    #: per-series trajectory diffs (``None``: trajectories not compared)
+    series: Mapping[str, SeriesDiff] | None = None
 
     @property
     def verdict(self) -> str:
-        """Worst metric verdict (regressed > improved > ... > identical)."""
-        return worst_verdict(c.verdict for c in self.comparisons.values())
+        """Worst verdict across metrics *and* trajectory series
+        (regressed > improved > ... > identical); a diverged series
+        counts as ``regressed``."""
+        verdicts = [c.verdict for c in self.comparisons.values()]
+        if self.series:
+            from repro.experiments.trajectory import trajectory_verdict
+
+            verdicts.append(trajectory_verdict(self.series))
+        return worst_verdict(verdicts)
 
     def to_dict(self) -> dict:
-        return {
+        """JSON-serializable diff entry for this point."""
+        out = {
             "key": self.key,
             "label": self.label,
             "verdict": self.verdict,
@@ -234,6 +327,11 @@ class PointDiff:
                 m: c.to_dict() for m, c in self.comparisons.items()
             },
         }
+        if self.series is not None:
+            out["trajectory"] = {
+                name: d.to_dict() for name, d in self.series.items()
+            }
+        return out
 
 
 @dataclass(frozen=True, slots=True)
@@ -248,13 +346,21 @@ class DiffReport:
     metrics: tuple[str, ...]
     alpha: float
     rel_tol: float
+    #: whether trajectory series were compared (``--trajectories``)
+    trajectories: bool = False
+    traj_atol: float = 0.0
+    traj_rtol: float = 0.0
+    #: matched points skipped because a side lacked embedded series
+    traj_skipped: tuple[str, ...] = ()
 
     @property
     def verdict(self) -> str:
+        """The report-level verdict: the worst point verdict."""
         return worst_verdict(p.verdict for p in self.matched)
 
     @property
     def regressions(self) -> tuple[PointDiff, ...]:
+        """Matched points whose verdict is ``regressed``."""
         return tuple(p for p in self.matched if p.verdict == REGRESSED)
 
     def verdict_counts(self) -> dict[str, int]:
@@ -265,8 +371,24 @@ class DiffReport:
                 counts[comp.verdict] = counts.get(comp.verdict, 0) + 1
         return counts
 
+    def series_verdict_counts(self) -> dict[str, int]:
+        """Per-series verdict histogram across all compared trajectories."""
+        counts: dict[str, int] = {}
+        for point in self.matched:
+            for d in (point.series or {}).values():
+                counts[d.verdict] = counts.get(d.verdict, 0) + 1
+        return counts
+
     def warnings(self) -> list[str]:
+        """Non-fatal alignment problems, human-readable."""
         out = []
+        if self.traj_skipped:
+            out.append(
+                f"{len(self.traj_skipped)} matched point(s) lack embedded "
+                "trajectories on at least one side: "
+                + ", ".join(self.traj_skipped[:4])
+                + (" ..." if len(self.traj_skipped) > 4 else "")
+            )
         if self.only_a:
             out.append(
                 f"{len(self.only_a)} point(s) only in A ({self.a.name}): "
@@ -282,7 +404,8 @@ class DiffReport:
         return out
 
     def to_dict(self) -> dict:
-        return {
+        """The machine-readable diff report (``diff --out``)."""
+        out = {
             "schema": REPORT_SCHEMA,
             "kind": "diff",
             "a": {"name": self.a.name, "source": self.a.source},
@@ -296,6 +419,14 @@ class DiffReport:
             "only_a": [p.label for p in self.only_a],
             "only_b": [p.label for p in self.only_b],
         }
+        if self.trajectories:
+            out["trajectories"] = {
+                "atol": self.traj_atol,
+                "rtol": self.traj_rtol,
+                "verdict_counts": self.series_verdict_counts(),
+                "skipped": list(self.traj_skipped),
+            }
+        return out
 
     def format(self) -> str:
         """Human-readable verdict table.
@@ -321,6 +452,14 @@ class DiffReport:
                     f"    {m}: {comp.a.mean:.6g} -> {comp.b.mean:.6g} "
                     f"({comp.relative_delta:+.3%}, {p_txt}) {comp.verdict}"
                 )
+            for name, d in (point.series or {}).items():
+                if d.verdict == "identical":
+                    continue
+                lines.append(
+                    f"    trajectory {name}: max|Δ|={d.max_abs:.6g} "
+                    f"at t={d.max_at:g}, area={d.area:.6g}, "
+                    f"{d.exceedances} sample(s) out of band -> {d.verdict}"
+                )
         counts = self.verdict_counts()
         lines.append(
             "verdicts: " + (
@@ -328,6 +467,14 @@ class DiffReport:
                 or "none (no metrics compared)"
             )
         )
+        if self.trajectories:
+            scounts = self.series_verdict_counts()
+            lines.append(
+                "trajectory verdicts: " + (
+                    " ".join(f"{k}={v}" for k, v in sorted(scounts.items()))
+                    or "none (no series compared)"
+                )
+            )
         return "\n".join(lines)
 
 
@@ -337,6 +484,9 @@ def diff_reports(
     metrics: Sequence[str] | None = None,
     alpha: float = 0.05,
     rel_tol: float = 0.0,
+    trajectories: bool = False,
+    traj_atol: float = 0.0,
+    traj_rtol: float = 0.0,
 ) -> DiffReport:
     """Align two reports by point key and classify every shared metric.
 
@@ -347,11 +497,21 @@ def diff_reports(
     vacuously.  Grid subset/superset is tolerated -- unmatched points
     are carried in the result's ``only_a``/``only_b``, never silently
     dropped.
+
+    With ``trajectories=True`` every matched point that embeds series
+    on both sides is additionally compared shape-wise
+    (:func:`repro.experiments.trajectory.diff_trajectories`, band
+    ``traj_atol + traj_rtol * |baseline|`` per sample); points lacking
+    series on a side are warned about, and if *no* matched point can be
+    compared the call raises -- a trajectory gate must never pass
+    vacuously.
     """
     if not 0.0 < alpha < 1.0:
         raise DiffError(f"alpha must be in (0, 1), got {alpha}")
     if rel_tol < 0.0:
         raise DiffError(f"rel_tol must be >= 0, got {rel_tol}")
+    if traj_atol < 0.0 or traj_rtol < 0.0:
+        raise DiffError("trajectory tolerances must be >= 0")
     a_names = set(a.metric_names())
     b_names = set(b.metric_names())
     if metrics:
@@ -378,6 +538,8 @@ def diff_reports(
     a_points = a.by_key()
     b_points = b.by_key()
     matched = []
+    traj_skipped: list[str] = []
+    traj_compared = 0
     for key, pa in a_points.items():
         pb = b_points.get(key)
         if pb is None:
@@ -394,7 +556,35 @@ def diff_reports(
                     f"requested metric {m!r} is missing from point "
                     f"{pa.label!r} in one of the reports"
                 )
-        matched.append(PointDiff(key=key, label=pa.label, comparisons=comparisons))
+        series = None
+        if trajectories:
+            if pa.trajectory.get("times") and pb.trajectory.get("times"):
+                from repro.experiments.trajectory import diff_trajectories
+
+                try:
+                    series = diff_trajectories(
+                        pa.trajectory, pb.trajectory,
+                        atol=traj_atol, rtol=traj_rtol,
+                    )
+                except ValueError as exc:
+                    # e.g. a non-increasing 'times' axis: malformed
+                    # data, not a regression
+                    raise DiffError(
+                        f"point {pa.label!r} has a malformed "
+                        f"trajectory: {exc}"
+                    ) from None
+                traj_compared += 1
+            else:
+                traj_skipped.append(pa.label)
+        matched.append(PointDiff(
+            key=key, label=pa.label, comparisons=comparisons, series=series,
+        ))
+    if trajectories and matched and not traj_compared:
+        raise DiffError(
+            "--trajectories requested but no matched point embeds series "
+            "on both sides; regenerate the reports from a scenario with "
+            "'sample_interval' set"
+        )
     only_a = tuple(p for k, p in a_points.items() if k not in b_points)
     only_b = tuple(p for k, p in b_points.items() if k not in a_points)
     return DiffReport(
@@ -406,4 +596,8 @@ def diff_reports(
         metrics=selected,
         alpha=alpha,
         rel_tol=rel_tol,
+        trajectories=trajectories,
+        traj_atol=traj_atol,
+        traj_rtol=traj_rtol,
+        traj_skipped=tuple(traj_skipped),
     )

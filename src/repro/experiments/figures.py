@@ -49,10 +49,12 @@ _EXPONENTIAL_SMOKE = (0.007, 0.018)
 #: its plateau value.  These are hand-picked constants pinned against
 #: the paper's figure axes by ``tests/test_figures_constants.py``: each
 #: must sit strictly beyond its workload's highest swept load above.
-#: The ROADMAP's trajectory-aware stopping rule is intended to *derive*
-#: saturation onset from time-resolved utilization and replace this
-#: table -- the pinning test is the guarded baseline any such change
-#: must reproduce (or consciously update).
+#: These constants are now the *fallback*: ``--auto-saturation`` derives
+#: the knee from a utilization load ladder instead
+#: (:func:`repro.experiments.trajectory.scan_saturation`), and
+#: ``tests/test_saturation.py`` pins that the detected knee lands within
+#: one ladder step of this table -- the guarded baseline either
+#: mechanism must reproduce (or consciously update).
 SATURATION_LOADS = {"real": 0.1, "uniform": 0.03, "exponential": 0.05}
 
 
@@ -141,3 +143,34 @@ FIGURES: dict[str, FigureSpec] = {
 def combo_label(alloc: str, sched: str) -> str:
     """The paper's series notation, e.g. ``GABL(SSD)``."""
     return f"{alloc}({sched})"
+
+
+def sweep_ceiling(workload: str) -> float:
+    """The highest load any line-chart figure sweeps for ``workload``.
+
+    This anchors the ``--auto-saturation`` load ladder: the paper's
+    fixed saturation loads sit just past the top of each sweep, so the
+    scan starts climbing from here.
+
+    Args:
+        workload: one of :data:`WORKLOADS`.
+
+    Returns:
+        The maximum swept load across that workload's non-saturation
+        figures.
+
+    Raises:
+        KeyError: for pipeline workloads (no figure sweeps exist; pass
+            an explicit ladder start instead).
+    """
+    tops = [
+        max(spec.loads)
+        for spec in FIGURES.values()
+        if spec.workload == workload and not spec.saturation
+    ]
+    if not tops:
+        raise KeyError(
+            f"no figure sweep for workload {workload!r}; "
+            "pass an explicit ladder start"
+        )
+    return max(tops)

@@ -1,0 +1,364 @@
+"""Scenario/report plotting: ASCII charts always, PNG when possible.
+
+``repro plot report.json`` renders what a ``--out`` report contains:
+
+* **trajectory charts** -- the embedded
+  :meth:`~repro.core.hooks.TrajectoryObserver.series` payloads
+  (utilization, queue length, ... vs. time), every point's run overlaid
+  on one axis;
+* **sweep charts** -- per-load metric curves (one series per
+  workload/allocator/scheduler combination) whenever the report spans
+  more than one load.
+
+Charts are extracted once into plain :class:`Chart` values, then
+rendered twice: as ASCII (always available, CI-safe) and, when
+matplotlib is importable and ``--png`` was given, as a PNG grid.  A
+``--compare`` report overlays its series on the same axes with
+``B:``-prefixed labels, which is how two scenarios end up on one chart.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.experiments.diff import LoadedReport, ReportPoint
+
+#: trajectory series plotted when the user names no --metric
+DEFAULT_TRAJECTORY_SERIES = ("utilization", "queue_length")
+#: sweep metric plotted when the user names no --metric
+DEFAULT_SWEEP_METRICS = ("utilization",)
+
+#: maximum rendered series-label length (pipeline specs get long)
+_LABEL_WIDTH = 40
+
+
+@dataclass(frozen=True, slots=True)
+class Chart:
+    """One renderable chart: labelled (xs, ys) series on shared axes."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    #: label -> (xs, ys), both parallel sequences
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]] = field(
+        default_factory=dict
+    )
+
+
+def _short(label: str) -> str:
+    # truncate the *middle*: point labels start with the (long, shared)
+    # workload spec and end with the distinguishing load/alloc/sched
+    if len(label) > _LABEL_WIDTH:
+        head = (_LABEL_WIDTH - 2) // 2
+        tail = _LABEL_WIDTH - 2 - head
+        label = label[:head] + ".." + label[-tail:]
+    return label
+
+
+def _shorten_labels(series: Mapping[str, tuple]) -> dict[str, tuple]:
+    """Truncate series labels for display, keeping distinct keys distinct.
+
+    Labels differing only in their truncated middle get ``#2``/``#3``
+    suffixes instead of silently colliding (which would merge or drop
+    series).
+    """
+    out: dict[str, tuple] = {}
+    counts: dict[str, int] = {}
+    for full, data in series.items():
+        short = _short(full)
+        counts[short] = counts.get(short, 0) + 1
+        if counts[short] > 1:
+            short = f"{short}#{counts[short]}"
+        out[short] = data
+    return out
+
+
+def _trajectory_points(report: LoadedReport) -> list[ReportPoint]:
+    return [p for p in report.points if p.trajectory.get("times")]
+
+
+def trajectory_charts(
+    report: LoadedReport,
+    metrics: Sequence[str],
+    compare: LoadedReport | None = None,
+) -> list[Chart]:
+    """One chart per trajectory series name, all points overlaid.
+
+    Args:
+        report: the primary report (``A:`` series when comparing).
+        metrics: trajectory series names to plot (e.g. ``utilization``).
+        compare: optional second report overlaid with ``B:`` labels.
+
+    Returns:
+        One :class:`Chart` per requested series name that at least one
+        point actually recorded.
+    """
+    charts = []
+    sources = [("", report)] if compare is None else [
+        ("A:", report), ("B:", compare),
+    ]
+    for name in metrics:
+        series: dict[str, tuple[Sequence[float], Sequence[float]]] = {}
+        for prefix, rep in sources:
+            for point in _trajectory_points(rep):
+                values = point.trajectory.get(name)
+                if not values:
+                    continue
+                series[prefix + point.label] = (
+                    point.trajectory["times"], values,
+                )
+        if series:
+            charts.append(Chart(
+                title=f"{name} vs. time",
+                xlabel="time",
+                ylabel=name,
+                series=_shorten_labels(series),
+            ))
+    return charts
+
+
+def sweep_charts(
+    report: LoadedReport,
+    metrics: Sequence[str],
+    compare: LoadedReport | None = None,
+    require_multi_load: bool = True,
+) -> list[Chart]:
+    """One chart per metric: value vs. load, a series per combination.
+
+    Points missing grid coordinates (no ``load`` field) are skipped.
+    By default a chart is only emitted when some series spans at least
+    two loads (a single-load curve is not a curve); pass
+    ``require_multi_load=False`` -- as explicit ``--metric`` requests do
+    -- to render single-load strategy comparisons too (e.g. a
+    saturation bar-chart report).
+
+    Args:
+        report: the primary report.
+        metrics: scalar metric names to plot (e.g. ``mean_turnaround``).
+        compare: optional second report overlaid with ``B:`` labels.
+        require_multi_load: suppress single-load charts (the default).
+
+    Returns:
+        One :class:`Chart` per requested metric with data to show.
+    """
+    charts = []
+    sources = [("", report)] if compare is None else [
+        ("A:", report), ("B:", compare),
+    ]
+    for metric in metrics:
+        series: dict[str, tuple[list[float], list[float]]] = {}
+        for prefix, rep in sources:
+            groups: dict[str, list[tuple[float, float]]] = {}
+            for p in rep.points:
+                if p.load is None or metric not in p.metrics:
+                    continue
+                # group on the FULL label: truncation happens only at
+                # display time, so near-identical workloads never merge
+                label = f"{prefix}{p.alloc}({p.sched}) {p.workload}"
+                groups.setdefault(label, []).append(
+                    (p.load, p.metrics[metric])
+                )
+            for label, pairs in groups.items():
+                pairs.sort()
+                series[label] = (
+                    [x for x, _ in pairs], [y for _, y in pairs],
+                )
+        multi = any(len(xs) > 1 for xs, _ in series.values())
+        if series and (multi or not require_multi_load):
+            charts.append(Chart(
+                title=f"{metric} vs. load",
+                xlabel="load",
+                ylabel=metric,
+                series=_shorten_labels(series),
+            ))
+    return charts
+
+
+def report_charts(
+    report: LoadedReport,
+    metrics: Sequence[str] | None = None,
+    compare: LoadedReport | None = None,
+) -> list[Chart]:
+    """Everything plottable in a report, as chart values.
+
+    Without an explicit ``metrics`` list, the defaults are the
+    :data:`DEFAULT_TRAJECTORY_SERIES` time charts (when the report
+    embeds trajectories) plus the :data:`DEFAULT_SWEEP_METRICS` load
+    curves (when it spans several loads).  With an explicit list, each
+    name is routed by kind: trajectory series names become time charts,
+    scalar metric names become load curves.
+
+    Args:
+        report: the primary parsed report.
+        metrics: series/metric names, or ``None`` for the defaults.
+        compare: optional overlay report.
+
+    Returns:
+        The charts, trajectory charts first.
+    """
+    if metrics is None:
+        traj_names: Sequence[str] = DEFAULT_TRAJECTORY_SERIES
+        sweep_names: Sequence[str] = DEFAULT_SWEEP_METRICS
+    else:
+        series_keys = {
+            name
+            for rep in (report, compare) if rep is not None
+            for p in rep.points
+            for name in p.trajectory
+            if name != "times"
+        }
+        traj_names = [m for m in metrics if m in series_keys]
+        sweep_names = [m for m in metrics if m not in series_keys]
+    charts = trajectory_charts(report, traj_names, compare=compare)
+    charts.extend(sweep_charts(
+        report, sweep_names, compare=compare,
+        require_multi_load=metrics is None,
+    ))
+    return charts
+
+
+# ------------------------------------------------------------------- ASCII
+def ascii_chart(chart: Chart, height: int = 14, width: int = 64) -> str:
+    """Render one chart as a terminal scatter/line grid.
+
+    Each series gets a letter marker (``A``, ``B``, ...); cells hit by
+    several series show ``*``.  The header carries the y-range, the
+    footer the x-range and the legend.
+
+    Args:
+        chart: the chart to render.
+        height: canvas rows.
+        width: canvas columns.
+
+    Returns:
+        The multi-line ASCII rendering.
+    """
+    labels = list(chart.series)
+    xs_all = [x for xs, _ in chart.series.values() for x in xs]
+    ys_all = [y for _, ys in chart.series.values() for y in ys]
+    if not xs_all:
+        return f"{chart.title}: nothing to plot"
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    rows = [[" "] * width for _ in range(height)]
+    for li, label in enumerate(labels):
+        marker = chr(ord("A") + li % 26)
+        xs, ys = chart.series[label]
+        for x, y in zip(xs, ys):
+            c = int((x - x_lo) / x_span * (width - 1))
+            r = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            rows[r][c] = "*" if rows[r][c] not in (" ", marker) else marker
+    out = [f"{chart.title}  [{chart.ylabel}: {y_lo:.4g} .. {y_hi:.4g}]"]
+    out.extend("|" + "".join(r) for r in rows)
+    axis = f"{x_lo:.6g}"
+    tail = f"{x_hi:.6g}"
+    out.append(
+        "+" + axis + "-" * max(width - len(axis) - len(tail), 1) + tail
+    )
+    out.append(f"  x: {chart.xlabel}")
+    out.extend(
+        f"  {chr(ord('A') + i % 26)} = {label}"
+        for i, label in enumerate(labels)
+    )
+    return "\n".join(out)
+
+
+def render_ascii(charts: Sequence[Chart]) -> str:
+    """Render every chart, blank-line separated.
+
+    Args:
+        charts: charts from :func:`report_charts`.
+
+    Returns:
+        The concatenated ASCII renderings (or a note when empty).
+    """
+    if not charts:
+        return (
+            "nothing to plot: the report has no embedded trajectories and "
+            "no multi-load sweep (try --metric, or rerun the scenario with "
+            "'sample_interval' set)"
+        )
+    return "\n\n".join(ascii_chart(c) for c in charts)
+
+
+# --------------------------------------------------------------------- PNG
+def render_png(charts: Sequence[Chart], path: str) -> bool:
+    """Render the charts as a PNG grid via matplotlib, if importable.
+
+    Uses the ``Agg`` backend (no display needed).  Missing matplotlib is
+    not an error -- the ASCII rendering already happened -- but it is
+    reported so the caller can tell the user.
+
+    Args:
+        charts: charts from :func:`report_charts`.
+        path: output PNG path.
+
+    Returns:
+        ``True`` when the PNG was written, ``False`` when matplotlib is
+        unavailable.
+
+    Raises:
+        ValueError: for an empty chart list (a blank PNG is never
+            written).
+    """
+    if not charts:
+        raise ValueError("no charts to render")
+    try:
+        import matplotlib
+    except ImportError:
+        return False
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    n = len(charts)
+    fig, axes = plt.subplots(n, 1, figsize=(8, 3.2 * n), squeeze=False)
+    for ax, chart in zip((a for row in axes for a in row), charts):
+        for label, (xs, ys) in chart.series.items():
+            ax.plot(xs, ys, drawstyle="steps-post", label=label)
+        ax.set_title(chart.title)
+        ax.set_xlabel(chart.xlabel)
+        ax.set_ylabel(chart.ylabel)
+        ax.legend(fontsize=6)
+    fig.tight_layout()
+    fig.savefig(path)
+    plt.close(fig)
+    return True
+
+
+def plot_report(
+    report: LoadedReport,
+    metrics: Sequence[str] | None = None,
+    compare: LoadedReport | None = None,
+    png: str | None = None,
+) -> str:
+    """The ``repro plot`` pipeline: extract, render ASCII, maybe PNG.
+
+    Args:
+        report: the primary parsed report.
+        metrics: series/metric names, or ``None`` for defaults.
+        compare: optional overlay report.
+        png: optional PNG output path.
+
+    Returns:
+        The ASCII rendering (PNG status is appended as a final line).
+    """
+    charts = report_charts(report, metrics=metrics, compare=compare)
+    text = render_ascii(charts)
+    if png is not None:
+        if not charts:
+            print(
+                "nothing to plot; PNG not written", file=sys.stderr,
+            )
+        elif render_png(charts, png):
+            text += f"\nPNG written to {png}"
+        else:
+            print(
+                "matplotlib not importable; skipped PNG "
+                "(ASCII charts rendered above)",
+                file=sys.stderr,
+            )
+    return text

@@ -41,6 +41,7 @@ def format_figure(result: FigureResult, precision: int | None = None) -> str:
 
 
 def mean_of(series: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty series)."""
     return sum(series) / len(series) if series else 0.0
 
 

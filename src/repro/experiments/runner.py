@@ -98,6 +98,7 @@ class FigureResult:
     series: Mapping[str, tuple[float, ...]]
 
     def series_for(self, alloc: str, sched: str) -> tuple[float, ...]:
+        """The series of one strategy combination, by its parts."""
         return self.series[combo_label(alloc, sched)]
 
 

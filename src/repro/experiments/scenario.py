@@ -33,7 +33,10 @@ from concurrent import futures
 from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.trajectory import SaturationScan
 
 from repro.alloc import make_allocator
 from repro.core.config import NETWORK_MODES, PAPER_CONFIG, SimConfig
@@ -122,6 +125,7 @@ class Scenario:
     # -------------------------------------------------------- serialization
     @classmethod
     def from_dict(cls, data: Mapping) -> "Scenario":
+        """Build (and fully validate) a scenario from a plain mapping."""
         unknown = set(data) - _SCENARIO_KEYS
         if unknown:
             raise ValueError(
@@ -135,13 +139,16 @@ class Scenario:
 
     @classmethod
     def from_json(cls, text: str) -> "Scenario":
+        """Parse a scenario from its JSON document text."""
         return cls.from_dict(json.loads(text))
 
     @classmethod
     def load(cls, path: str | Path) -> "Scenario":
+        """Load a scenario from a JSON file."""
         return cls.from_json(Path(path).read_text())
 
     def to_dict(self) -> dict:
+        """The scenario as a JSON-serializable dict (round-trips)."""
         out = {
             "name": self.name,
             "workload": self.workload,
@@ -198,6 +205,7 @@ class Scenario:
         )
 
     def campaign(self, trace: Sequence[TraceJob] | None = None) -> Campaign:
+        """The scenario's grid as a ready-to-run (deduplicated) campaign."""
         return Campaign(self.points(trace), trace=trace)
 
     # -------------------------------------------------------------- running
@@ -207,6 +215,7 @@ class Scenario:
         cache: ResultCache | None = None,
         trace: Sequence[TraceJob] | None = None,
         progress: Callable[[str], None] | None = None,
+        auto_saturation: bool = False,
     ) -> "ScenarioResult":
         """Execute the scenario's campaign (cached, optionally parallel)
         and, when ``sample_interval`` is set, collect one trajectory per
@@ -217,11 +226,45 @@ class Scenario:
         one replication per point to record them.  With ``jobs > 1``
         those runs fan out over a process pool alongside the campaign's
         own parallelism.
+
+        With ``auto_saturation=True`` a saturation scan
+        (:func:`repro.experiments.trajectory.scan_saturation`) first
+        climbs a load ladder anchored at the scenario's highest load,
+        using its first allocator/scheduler combination; the detected
+        knee load is appended to the run grid (so the saturation point
+        is actually simulated) and the scan is embedded in the report's
+        ``saturation`` block.
         """
-        campaign = self.campaign(trace)
+        saturation = None
+        run_scenario = self
+        if auto_saturation:
+            from repro.experiments.trajectory import scan_saturation
+
+            saturation = scan_saturation(
+                self.workload,
+                alloc=self.allocs[0],
+                sched=self.scheds[0],
+                scale=self.scale,
+                config=self.sim_config(),
+                network_mode=self.network_mode,
+                trace=trace,
+                cache=cache,
+                jobs=jobs,
+                start=max(self.loads),
+            )
+            if progress is not None:
+                progress(saturation.format())
+            knee = saturation.knee
+            if knee is not None and knee not in self.loads:
+                # run (and report) the extended grid: the saturation
+                # point itself gets simulated, not just detected
+                run_scenario = dataclasses.replace(
+                    self, loads=self.loads + (knee,)
+                )
+        campaign = run_scenario.campaign(trace)
         results = campaign.run(jobs=jobs, cache=cache, progress=progress)
         trajectories: dict[str, dict] = {}
-        if self.sample_interval is not None:
+        if run_scenario.sample_interval is not None:
             points = campaign.points
             labels = [spec.label() for spec in points]
             if jobs > 1 and len(points) > 1:
@@ -234,22 +277,26 @@ class Scenario:
                     initargs=(trace,) if trace is not None else (),
                 )
                 run_one = partial(
-                    run_trajectory, sample_interval=self.sample_interval,
+                    run_trajectory,
+                    sample_interval=run_scenario.sample_interval,
                     trace=_TRACE_FROM_INITIALIZER if trace is not None else None,
                 )
                 with pool:
                     series = list(pool.map(run_one, points))
             else:
                 series = [
-                    run_trajectory(spec, self.sample_interval, trace=trace)
+                    run_trajectory(
+                        spec, run_scenario.sample_interval, trace=trace
+                    )
                     for spec in points
                 ]
             trajectories = dict(zip(labels, series))
         return ScenarioResult(
-            scenario=self,
+            scenario=run_scenario,
             points=campaign.points,
             metrics={spec: results[spec] for spec in campaign.points},
             trajectories=trajectories,
+            saturation=saturation,
         )
 
 
@@ -286,13 +333,19 @@ class ScenarioResult:
     metrics: Mapping[PointSpec, PointResult]
     #: spec label -> TrajectoryObserver.series() (empty when disabled)
     trajectories: Mapping[str, Mapping[str, list]]
+    #: the auto-saturation scan, when one ran
+    saturation: "SaturationScan | None" = None
 
     def to_dict(self) -> dict:
         """JSON-serializable report (scenario + per-point results).
 
-        Schema 2: every point embeds its structured cache ``key`` and
-        the per-metric replication summaries (mean, variance, n), which
-        is exactly what ``repro diff`` aligns and tests on.
+        Schema 3: every point embeds its structured cache ``key``, the
+        per-metric replication summaries (mean, variance, n) that
+        ``repro diff`` aligns and tests on, and its trajectory series
+        (the stable :meth:`TrajectoryObserver.series` export) that
+        ``repro diff --trajectories`` and ``repro plot`` consume; an
+        auto-saturation scan, when one ran, lands in the top-level
+        ``saturation`` block.
         """
         from repro.experiments.diff import REPORT_SCHEMA, point_payload
 
@@ -301,7 +354,7 @@ class ScenarioResult:
             entry = point_payload(spec, self.metrics[spec])
             entry["trajectory"] = dict(self.trajectories.get(spec.label(), {}))
             points.append(entry)
-        return {
+        out = {
             "schema": REPORT_SCHEMA,
             "kind": "scenario",
             "name": self.scenario.name,
@@ -310,6 +363,9 @@ class ScenarioResult:
             "points": points,
             "metric_names": list(METRICS),
         }
+        if self.saturation is not None:
+            out["saturation"] = self.saturation.to_dict()
+        return out
 
     def format(self) -> str:
         """Human-readable per-point summary table."""
@@ -318,6 +374,13 @@ class ScenarioResult:
             f"[{self.scenario.fingerprint()}] "
             f"workload={self.scenario.workload!r} scale={self.scenario.scale}"
         ]
+        if self.saturation is not None:
+            knee = self.saturation.knee
+            lines.append(
+                "  auto-saturation: "
+                + (f"knee at load {knee:.6g}" if knee is not None
+                   else "no knee confirmed (ladder exhausted)")
+            )
         for spec in self.points:
             lines.append(f"  {spec.label()}: {summarize_point(self.metrics[spec])}")
             traj = self.trajectories.get(spec.label())

@@ -110,6 +110,7 @@ class ResultCache:
 
     # ------------------------------------------------------------------ API
     def get(self, key: str) -> dict | None:
+        """The stored payload for ``key`` (memory first, then disk)."""
         hit = self._mem.get(key)
         if hit is not None:
             return hit
@@ -121,6 +122,7 @@ class ResultCache:
         return value
 
     def put(self, key: str, value: Mapping) -> None:
+        """Store ``value`` under ``key`` (atomic shard write when on disk)."""
         self._mem[key] = dict(value)
         if self.disk:
             try:
@@ -183,6 +185,7 @@ _GLOBAL_CACHE: ResultCache | None = None
 
 
 def global_cache() -> ResultCache:
+    """The process-wide result store (created on first use)."""
     global _GLOBAL_CACHE
     if _GLOBAL_CACHE is None:
         _GLOBAL_CACHE = ResultCache()

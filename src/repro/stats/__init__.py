@@ -26,6 +26,15 @@ from repro.stats.replication import (
     ReplicationResult,
     run_replications,
 )
+from repro.stats.series import (
+    SeriesDiff,
+    detect_plateau,
+    detect_saturation,
+    diff_series,
+    resample,
+    saturation_time,
+    union_grid,
+)
 
 __all__ = [
     "Welford",
@@ -45,4 +54,11 @@ __all__ = [
     "ReplicationController",
     "ReplicationResult",
     "run_replications",
+    "SeriesDiff",
+    "detect_plateau",
+    "detect_saturation",
+    "diff_series",
+    "resample",
+    "saturation_time",
+    "union_grid",
 ]

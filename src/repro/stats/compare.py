@@ -97,10 +97,12 @@ class MetricSummary:
         return cls(mean=acc.mean, variance=acc.variance, n=acc.n)
 
     def to_dict(self) -> dict:
+        """JSON-serializable form (the report/store payload)."""
         return {"mean": self.mean, "variance": self.variance, "n": self.n}
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "MetricSummary":
+        """Adopt a :meth:`to_dict` payload (values coerced, validated)."""
         return cls(
             mean=float(data["mean"]),
             variance=float(data["variance"]),
@@ -120,6 +122,7 @@ class MetricSummary:
         return t * math.sqrt(self.variance / self.n)
 
     def interval(self, confidence: float = 0.95) -> tuple[float, float]:
+        """The Student-t confidence interval of the mean."""
         hw = self.half_width(confidence)
         return self.mean - hw, self.mean + hw
 
@@ -208,6 +211,7 @@ class MetricComparison:
     verdict: str
 
     def to_dict(self) -> dict:
+        """JSON-serializable form (the diff-report payload)."""
         return {
             "metric": self.metric,
             "a": self.a.to_dict(),

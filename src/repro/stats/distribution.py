@@ -108,6 +108,7 @@ class Histogram:
         self.n = 0
 
     def add(self, value: float) -> None:
+        """Count one observation (under/overflow tracked separately)."""
         self.n += 1
         if value < self.lo:
             self.underflow += 1
@@ -119,10 +120,12 @@ class Histogram:
         self.counts[min(idx, self.bins - 1)] += 1
 
     def extend(self, values: Iterable[float]) -> None:
+        """Count every observation in ``values``."""
         for v in values:
             self.add(v)
 
     def bin_edges(self, idx: int) -> tuple[float, float]:
+        """The ``[lo, hi)`` value range of bin ``idx``."""
         width = (self.hi - self.lo) / self.bins
         return self.lo + idx * width, self.lo + (idx + 1) * width
 

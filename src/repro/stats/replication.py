@@ -38,6 +38,7 @@ class ReplicatedMetric:
 
     @property
     def n(self) -> int:
+        """Number of replications observed."""
         return len(self.values)
 
 
@@ -53,6 +54,7 @@ class ReplicationResult:
         return self.metrics[name]
 
     def mean(self, name: str) -> float:
+        """The replication mean of metric ``name``."""
         return self.metrics[name].mean
 
 
@@ -107,10 +109,12 @@ class ReplicationController:
 
     @property
     def completed(self) -> int:
+        """Replications fed back so far."""
         return self._completed
 
     @property
     def converged(self) -> bool:
+        """Whether the CI stopping rule has been satisfied."""
         return self._converged
 
     @property
@@ -153,6 +157,7 @@ class ReplicationController:
             self._converged = True
 
     def result(self) -> ReplicationResult:
+        """Summarise every watched metric (means, CIs, convergence)."""
         metrics = {}
         for m in self._names:
             mean, hw = mean_confidence_interval(self._samples[m], self._confidence)

@@ -42,6 +42,7 @@ class StochasticWorkload(Workload):
         self.name = f"stochastic-{sides}"
 
     def jobs(self, seed: int) -> Iterator[Job]:
+        """The seeded infinite job stream (dyadic-grid arrival times)."""
         rng = np.random.default_rng(seed)
         cfg = self.config
         mean_interarrival = 1.0 / self.load

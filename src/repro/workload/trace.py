@@ -136,6 +136,7 @@ class TraceWorkload(Workload):
         ]
 
     def jobs(self, seed: int) -> Iterator[Job]:
+        """The deterministic replay stream (``seed`` is ignored)."""
         # replay is fully deterministic; the seed is accepted for
         # interface uniformity but unused
         cfg = self.config

@@ -111,6 +111,7 @@ class LoadScale(WorkloadTransform):
 
     @staticmethod
     def check_args(factor: float) -> None:
+        """Reject non-positive factors at spec-parse time."""
         if factor <= 0:
             raise ValueError(f"scale factor must be positive, got {factor}")
 
@@ -120,9 +121,11 @@ class LoadScale(WorkloadTransform):
         super().__init__(inner, salt)
 
     def describe(self) -> str:
+        """The canonical spec fragment, e.g. ``scale:0.5``."""
         return f"scale:{_fmt_arg(self.factor)}"
 
     def jobs(self, seed: int) -> Iterator[Job]:
+        """The scaled stream (arrivals re-quantized onto the grid)."""
         prev = 0.0
         for job in self.inner.jobs(seed):
             t = quantize_time(job.arrival_time * self.factor)
@@ -145,6 +148,7 @@ class Thin(WorkloadTransform):
 
     @staticmethod
     def check_args(p: float) -> None:
+        """Reject probabilities outside ``(0, 1]`` at spec-parse time."""
         if not 0.0 < p <= 1.0:
             raise ValueError(f"thin probability must be in (0, 1], got {p}")
 
@@ -154,9 +158,11 @@ class Thin(WorkloadTransform):
         super().__init__(inner, salt)
 
     def describe(self) -> str:
+        """The canonical spec fragment, e.g. ``thin:0.8``."""
         return f"thin:{_fmt_arg(self.p)}"
 
     def jobs(self, seed: int) -> Iterator[Job]:
+        """The thinned stream (transform-local RNG, reproducible)."""
         rng = self._rng(seed)
         for job in self.inner.jobs(seed):
             if rng.random() < self.p:
@@ -173,6 +179,7 @@ class Jitter(WorkloadTransform):
 
     @staticmethod
     def check_args(sigma: float) -> None:
+        """Reject negative noise widths at spec-parse time."""
         if sigma < 0:
             raise ValueError(f"jitter sigma must be non-negative, got {sigma}")
 
@@ -182,9 +189,11 @@ class Jitter(WorkloadTransform):
         super().__init__(inner, salt)
 
     def describe(self) -> str:
+        """The canonical spec fragment, e.g. ``jitter:5``."""
         return f"jitter:{_fmt_arg(self.sigma)}"
 
     def jobs(self, seed: int) -> Iterator[Job]:
+        """The jittered stream (clamped monotone, re-quantized)."""
         rng = self._rng(seed)
         prev = 0.0
         for job in self.inner.jobs(seed):
@@ -205,6 +214,7 @@ class Burstify(WorkloadTransform):
 
     @staticmethod
     def check_args(interval: float) -> None:
+        """Reject non-positive burst intervals at spec-parse time."""
         if interval <= 0:
             raise ValueError(f"burst interval must be positive, got {interval}")
 
@@ -214,9 +224,11 @@ class Burstify(WorkloadTransform):
         super().__init__(inner, salt)
 
     def describe(self) -> str:
+        """The canonical spec fragment, e.g. ``burst:128``."""
         return f"burst:{_fmt_arg(self.interval)}"
 
     def jobs(self, seed: int) -> Iterator[Job]:
+        """The burst-aligned stream (arrivals rounded up)."""
         prev = 0.0
         for job in self.inner.jobs(seed):
             t = quantize_time(math.ceil(job.arrival_time / self.interval)
@@ -234,6 +246,7 @@ class ShapeClamp(WorkloadTransform):
 
     @staticmethod
     def check_args(max_width: int, max_length: int) -> None:
+        """Reject sub-unit clamp sides at spec-parse time."""
         if max_width < 1 or max_length < 1:
             raise ValueError(
                 f"clamp sides must be >= 1, got {max_width}x{max_length}"
@@ -248,9 +261,11 @@ class ShapeClamp(WorkloadTransform):
         super().__init__(inner, salt)
 
     def describe(self) -> str:
+        """The canonical spec fragment, e.g. ``clamp:4:4``."""
         return f"clamp:{self.max_width}:{self.max_length}"
 
     def jobs(self, seed: int) -> Iterator[Job]:
+        """The clamped stream (arrivals and demands untouched)."""
         w_cap = min(self.max_width, self.config.width)
         l_cap = min(self.max_length, self.config.length)
         for job in self.inner.jobs(seed):
@@ -292,6 +307,7 @@ class Merge(Workload):
         return int(seq.generate_state(1, dtype=np.uint64)[0])
 
     def jobs(self, seed: int) -> Iterator[Job]:
+        """The merged stream (stable arrival order, renumbered ids)."""
         streams = [
             wl.jobs(self.stream_seed(seed, i))
             for i, wl in enumerate(self.inners)

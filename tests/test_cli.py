@@ -110,3 +110,101 @@ def test_network_mode_choices_include_batch(capsys):
     ])
     assert rc == 0
     assert "turnaround=" in capsys.readouterr().out
+
+
+# ------------------------------------------------------------ --help audit
+#: every CLI target and the contract fragments its --help must name:
+#: the report schema written by --out (where applicable) and the
+#: documented exit codes
+_HELP_CONTRACTS = {
+    "fig9": ["schema-3", "figures report"],
+    "all": ["text tables"],
+    "claims": ["exit 0 all pass; 1 a claim failed"],
+    "point": ["2 missing/bad parameters"],
+    "sweep": ["schema-3 campaign report"],
+    "scenario": ["schema-3 scenario report", "2 bad scenario file"],
+    "diff": [
+        "schema-3 diff report",
+        "1 regression",
+        "2 malformed/old-schema reports or disjoint grids",
+    ],
+    "plot": ["schema-2/3 report", "2 unreadable report"],
+}
+
+
+@pytest.mark.parametrize("target", sorted(_HELP_CONTRACTS))
+def test_help_for_every_target_exits_zero_and_names_contract(
+    target, capsys
+):
+    """`repro <target> --help` exits 0 and the help text documents the
+    target's report schema and exit-code contract."""
+    with pytest.raises(SystemExit) as exc:
+        main([target, "--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    # figure ids appear as the fig2..fig16 range in the contract table
+    assert (target in out) or (target.startswith("fig") and "fig2..fig16" in out)
+    for fragment in _HELP_CONTRACTS[target]:
+        assert fragment in out, f"--help lost {fragment!r} for {target}"
+
+
+def test_help_names_out_schema_for_out_capable_targets(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    # the --out option itself names the current schema
+    assert "schema-3" in out
+    # and the schema history is summarised once
+    assert "1 legacy" in out and "2 keys+stats" in out
+
+
+# ------------------------------------------------------------- plot target
+def test_plot_requires_exactly_one_report(capsys):
+    assert main(["plot"]) == 2
+    assert "exactly one report file" in capsys.readouterr().err
+    assert main(["plot", "a.json", "b.json"]) == 2
+
+
+def test_plot_rejects_unreadable_report(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["plot", str(bad)]) == 2
+    assert "plot error" in capsys.readouterr().err
+
+
+def test_plot_golden_scenario_ascii(capsys):
+    from pathlib import Path
+
+    golden = Path(__file__).resolve().parent / "golden" / "scenario_smoke.json"
+    rc = main(["plot", str(golden)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "utilization vs. time" in out
+    assert "queue_length vs. time" in out
+    assert "A = " in out
+
+
+def test_plot_compare_and_png_flags(tmp_path, capsys):
+    from pathlib import Path
+
+    golden = Path(__file__).resolve().parent / "golden" / "scenario_smoke.json"
+    png = tmp_path / "out.png"
+    rc = main([
+        "plot", str(golden), "--compare", str(golden),
+        "--metric", "utilization", "--png", str(png),
+    ])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "B:" in captured.out
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        assert not png.exists()
+        assert "matplotlib not importable" in captured.err
+    else:
+        assert png.exists()
+
+def test_plot_cannot_combine_with_other_targets(capsys):
+    assert main(["fig9", "plot", "x.json"]) == 2
+    assert "cannot be combined" in capsys.readouterr().err

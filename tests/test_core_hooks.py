@@ -104,6 +104,47 @@ class TestTrajectoryObserver:
         assert traj.times == [0.0, 1.0, 2.0, 3.0, 4.0]
         assert traj.busy == [0, 4, 4, 4, 0]
 
+    def test_t0_sample_precedes_an_arrival_at_t0(self):
+        """The t=0 sample is the empty system even when the first
+        arrival lands exactly at t=0 (the documented g^- contract)."""
+        traj = TrajectoryObserver(1.0)
+        traj.on_arrival(0.0, job=None, queue_length=1)
+        traj.on_arrival(0.25, job=None, queue_length=2)
+        traj.on_end(1.0)
+        assert traj.times == [0.0, 1.0]
+        assert traj.queue_length == [0, 2]
+
+    def test_event_exactly_on_grid_point_is_not_folded_in(self):
+        """A sample at grid time g carries the state at g^-: events at
+        exactly g show up from the *next* sample on."""
+        traj = TrajectoryObserver(2.0)
+        traj.on_busy_change(2.0, 8)   # lands exactly on the grid
+        traj.on_busy_change(4.0, -8)  # and again
+        traj.on_end(6.0)
+        assert traj.times == [0.0, 2.0, 4.0, 6.0]
+        assert traj.busy == [0, 0, 8, 0]
+
+    def test_tail_after_final_completion_is_carried_to_the_end(self):
+        """A run ending long after its last event still samples the
+        tail, carrying the final state forward (documented behavior)."""
+        traj = TrajectoryObserver(1.0)
+        traj.on_busy_change(0.5, 4)
+        traj.on_complete(2.5, job=None)
+        traj.on_busy_change(2.5, -4)
+        traj.on_end(6.0)  # e.g. a max_time cutoff well past the event
+        assert traj.times == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        assert traj.busy == [0, 4, 4, 0, 0, 0, 0]
+        assert traj.completed == [0, 0, 0, 1, 1, 1, 1]
+        # sample count invariant: floor(final_clock / interval) + 1
+        assert len(traj.times) == int(6.0 // 1.0) + 1
+
+    def test_end_exactly_on_grid_point_keeps_count_invariant(self):
+        traj = TrajectoryObserver(2.0)
+        traj.on_busy_change(1.0, 3)
+        traj.on_end(4.0)
+        assert traj.times == [0.0, 2.0, 4.0]
+        assert traj.busy == [0, 3, 3]
+
     def test_validation(self):
         with pytest.raises(ValueError):
             TrajectoryObserver(0.0)

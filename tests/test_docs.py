@@ -1,0 +1,68 @@
+"""Docs-tree gates: links resolve, the public API surface is documented.
+
+These mirror the CI ``docs`` job so the gates also run locally (and
+without ruff installed): ``tools/check_links.py`` validates every
+intra-repo markdown link and heading anchor, ``tools/check_docstrings.py``
+is the dependency-free mirror of the scoped ruff D1xx docstring rules.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import check_docstrings  # noqa: E402
+import check_links  # noqa: E402
+
+
+def test_docs_tree_exists():
+    for page in ("architecture.md", "cli.md", "scenarios.md"):
+        assert (REPO / "docs" / page).is_file(), f"docs/{page} missing"
+
+
+def test_readme_links_into_docs():
+    readme = (REPO / "README.md").read_text()
+    for page in ("docs/architecture.md", "docs/cli.md", "docs/scenarios.md"):
+        assert page in readme, f"README no longer links {page}"
+
+
+def test_markdown_links_resolve(capsys):
+    assert check_links.main([]) == 0, capsys.readouterr().err
+
+
+def test_github_slugs():
+    assert check_links.github_slug("The network transport layer") \
+        == "the-network-transport-layer"
+    assert check_links.github_slug("`diff A.json B.json`") \
+        == "diff-ajson-bjson"
+
+
+def test_broken_link_is_detected(tmp_path):
+    md = tmp_path / "x.md"
+    md.write_text("see [missing](nope.md) and [bad](x.md#no-such-heading)\n")
+    errors = check_links.check_file(md, tmp_path)
+    assert len(errors) == 2
+
+
+def test_public_api_docstrings_complete(capsys):
+    """The scoped packages' public surface carries docstrings (the local
+    mirror of the ruff D100-D104 CI gate)."""
+    assert check_docstrings.main([]) == 0, capsys.readouterr().err
+
+
+def test_docstring_checker_detects_gaps(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    bad = pkg / "mod.py"
+    bad.write_text(
+        "def documented():\n    '''ok'''\n\n"
+        "def naked():\n    pass\n\n"
+        "class Naked:\n    def method(self):\n        pass\n\n"
+        "class _Private:\n    pass\n"
+    )
+    errors = check_docstrings.check_module(bad, tmp_path)
+    codes = sorted(e.split()[1] for e in errors)
+    assert codes == ["D100", "D101", "D102", "D103"]

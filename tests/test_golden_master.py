@@ -49,11 +49,23 @@ def test_scenario_smoke_matches_golden(tmp_path):
     fresh = tmp_path / "fresh.json"
     assert main(["scenario", str(EXAMPLE), "--out", str(fresh)]) == 0
     _assert_all_identical(GOLDEN / "scenario_smoke.json", fresh)
-    # and the CLI gate agrees, with exit code 0
+    # and the CLI gate agrees, with exit code 0 -- including the
+    # trajectory gate: a deterministic rerun pins the run *shape* too
     assert main([
         "diff", str(GOLDEN / "scenario_smoke.json"), str(fresh),
-        "--fail-on-regress",
+        "--trajectories", "--fail-on-regress",
     ]) == 0
+    report = diff_reports(
+        load_report(GOLDEN / "scenario_smoke.json"), load_report(fresh),
+        trajectories=True,
+    )
+    for point in report.matched:
+        assert point.series, f"{point.label}: no trajectory compared"
+        for name, d in point.series.items():
+            assert d.verdict == "identical", (
+                f"{point.label} trajectory {name}: {d.verdict} "
+                f"(max|Δ|={d.max_abs} at t={d.max_at})"
+            )
 
 
 def test_fig9_cell_matches_golden(tmp_path):
@@ -92,3 +104,32 @@ def test_perturbed_metric_regresses_and_gates(tmp_path, capsys):
     doc["points"][0]["stats"]["mean_turnaround"]["mean"] /= 1.1025
     perturbed.write_text(json.dumps(doc))
     assert main(["diff", str(golden), str(perturbed), "--fail-on-regress"]) == 0
+
+
+def test_perturbed_trajectory_sample_gates(tmp_path, capsys):
+    """A mid-series wiggle too small to move any run mean is invisible
+    to the scalar diff but MUST trip the trajectory gate with exit 1."""
+    golden = GOLDEN / "scenario_smoke.json"
+    perturbed = tmp_path / "perturbed.json"
+    doc = json.loads(golden.read_text())
+    series = doc["points"][0]["trajectory"]["utilization"]
+    series[len(series) // 2] += 1e-3  # one sample, metrics untouched
+    perturbed.write_text(json.dumps(doc))
+
+    # scalar gate: blind to the shape change
+    assert main(["diff", str(golden), str(perturbed), "--fail-on-regress"]) == 0
+    capsys.readouterr()
+    # trajectory gate: catches it, exit 1
+    rc = main([
+        "diff", str(golden), str(perturbed),
+        "--trajectories", "--fail-on-regress",
+    ])
+    out = capsys.readouterr()
+    assert rc == 1
+    assert "diverged" in out.out
+    assert "FAIL" in out.err
+    # a tolerance band wide enough to absorb the wiggle passes again
+    assert main([
+        "diff", str(golden), str(perturbed),
+        "--trajectories", "--traj-atol", "0.01", "--fail-on-regress",
+    ]) == 0

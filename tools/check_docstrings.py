@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Docstring-presence lint for the public API surface (D1xx subset).
+
+A dependency-free mirror of the ruff/pydocstyle rules D100-D104 that CI
+enforces (see ``ruff.toml``), runnable anywhere: every module, public
+class, public method and public function under the scoped packages
+(``src/repro/{experiments,stats,workload}``) must carry a docstring.
+Private names (leading underscore), dunder methods and nested
+definitions are exempt, matching pydocstyle's public-surface rules.
+
+Exit 0 when the surface is fully documented, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SCOPED = ("src/repro/experiments", "src/repro/stats", "src/repro/workload")
+
+
+def is_public(name: str) -> bool:
+    """Whether pydocstyle would treat this name as public."""
+    return not name.startswith("_")
+
+
+def check_module(path: Path, repo_root: Path) -> list[str]:
+    """All missing-docstring findings for one module."""
+    rel = path.relative_to(repo_root)
+    tree = ast.parse(path.read_text())
+    errors = []
+    if ast.get_docstring(tree) is None:
+        errors.append(f"{rel}:1 D100 missing module docstring")
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if is_public(node.name) and ast.get_docstring(node) is None:
+                errors.append(
+                    f"{rel}:{node.lineno} D103 missing docstring in "
+                    f"public function {node.name!r}"
+                )
+        elif isinstance(node, ast.ClassDef) and is_public(node.name):
+            if ast.get_docstring(node) is None:
+                errors.append(
+                    f"{rel}:{node.lineno} D101 missing docstring in "
+                    f"public class {node.name!r}"
+                )
+            for member in node.body:
+                if not isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if not is_public(member.name):
+                    continue  # private and dunder methods are exempt
+                if ast.get_docstring(member) is None:
+                    errors.append(
+                        f"{rel}:{member.lineno} D102 missing docstring in "
+                        f"public method {node.name}.{member.name}"
+                    )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    roots = [repo_root / p for p in (argv or SCOPED)]
+    errors = []
+    count = 0
+    for root in roots:
+        for path in sorted(root.rglob("*.py")):
+            count += 1
+            errors.extend(check_module(path, repo_root))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(
+        f"checked {count} module(s): "
+        f"{'OK' if not errors else f'{len(errors)} missing docstring(s)'}"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links (and heading anchors) resolve.
+
+Scans ``README.md`` and ``docs/*.md`` (plus any extra files passed as
+arguments) for ``[text](target)`` links.  External links (http/https/
+mailto) are ignored; relative targets must exist on disk, and a
+``#fragment`` must match a heading slug (GitHub slugification) in the
+target file.  Exit 0 when every link resolves, 1 otherwise -- the CI
+docs job runs this, no sphinx needed.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)  # inline formatting is dropped
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """All anchor slugs a markdown file defines."""
+    return {github_slug(h) for h in HEADING.findall(path.read_text())}
+
+
+def check_file(path: Path, repo_root: Path) -> list[str]:
+    """Every broken link in one markdown file, as error strings."""
+    errors = []
+    for target in LINK.findall(path.read_text()):
+        if target.startswith(_EXTERNAL):
+            continue
+        base, _, fragment = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        if not dest.exists():
+            errors.append(f"{path.relative_to(repo_root)}: broken link {target!r}")
+            continue
+        if fragment and dest.suffix == ".md":
+            if fragment not in heading_slugs(dest):
+                errors.append(
+                    f"{path.relative_to(repo_root)}: broken anchor {target!r} "
+                    f"(no heading slug {fragment!r} in {base or path.name})"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    files = [Path(a).resolve() for a in argv] or [
+        repo_root / "README.md",
+        *sorted((repo_root / "docs").glob("*.md")),
+        repo_root / "tests" / "golden" / "README.md",
+    ]
+    errors = []
+    for f in files:
+        if not f.exists():
+            errors.append(f"missing markdown file: {f}")
+            continue
+        errors.extend(check_file(f, repo_root))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
