@@ -1,0 +1,74 @@
+"""End-to-end fig2-fig16 campaign: reference engine vs. SoA lockstep.
+
+Runs the full deduplicated figure campaign twice from cold caches --
+once per execution engine -- verifies every point's metric dict is
+*exactly* equal (the engines are bit-identical by construction, see
+``repro.core.soa``), and records both wall times and the speedup in
+``results/campaign_end2end.txt``.
+
+The ISSUE-6 acceptance gate: >= 5x end-to-end with the compiled lane
+driver.  The assertion is skipped when no C compiler is available
+(``REPRO_NATIVE=0`` or a bare container), where the SoA path degrades
+to interleaved reference runs at ~1x.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import _soa_native
+from repro.core.config import PAPER_CONFIG
+from repro.experiments.campaign import Campaign
+from repro.experiments.figures import FIGURES
+from repro.experiments.store import ResultCache
+
+from _helpers import results_dir
+
+#: the tentpole's speedup floor, from ISSUE 6
+SPEEDUP_FLOOR = 5.0
+
+
+def _run_campaign(engine: str, scale: str, tmp_path) -> tuple[float, dict]:
+    campaign = Campaign.from_figures(
+        tuple(FIGURES), scale=scale,
+        config=PAPER_CONFIG.with_(engine=engine),
+    )
+    cache = ResultCache(tmp_path / f"cache-{engine}")
+    t0 = time.perf_counter()
+    results = campaign.run(cache=cache)
+    return time.perf_counter() - t0, {s.key(): dict(v) for s, v in results.items()}
+
+
+def test_campaign_end2end_speedup(benchmark, scale, tmp_path):
+    native = _soa_native.load_kernel() is not None
+
+    t_ref, r_ref = _run_campaign("reference", scale, tmp_path)
+    t_soa, r_soa = _run_campaign("soa", scale, tmp_path)
+    assert r_ref == r_soa, "engines must produce identical metrics"
+
+    speedup = t_ref / t_soa if t_soa > 0 else float("inf")
+    report = (
+        f"fig2-fig16 campaign, scale={scale}, {len(r_ref)} points, "
+        f"native={'yes' if native else 'no'}\n"
+        f"reference engine:         {t_ref:8.2f} s\n"
+        f"soa engine:               {t_soa:8.2f} s\n"
+        f"speedup:                  {speedup:8.2f} x\n"
+    )
+    print("\n" + report)
+    (results_dir() / "campaign_end2end.txt").write_text(report)
+
+    if native:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"SoA end-to-end speedup {speedup:.2f}x below the "
+            f"{SPEEDUP_FLOOR}x gate"
+        )
+
+    # the recorded benchmark kernel: one cold SoA campaign pass
+    def cold_soa():
+        campaign = Campaign.from_figures(
+            tuple(FIGURES), scale=scale,
+            config=PAPER_CONFIG.with_(engine="soa"),
+        )
+        return campaign.run(cache=ResultCache(tmp_path / "cache-bench"))
+
+    benchmark.pedantic(cold_soa, rounds=1, iterations=1)

@@ -38,7 +38,7 @@ import time
 from typing import Sequence
 
 from repro import __version__
-from repro.core.config import NETWORK_MODES, PAPER_CONFIG
+from repro.core.config import ENGINES, NETWORK_MODES, PAPER_CONFIG
 from repro.experiments.campaign import Campaign
 from repro.experiments.figures import FIGURES
 from repro.experiments.report import ascii_plot, format_figure, summarize_point
@@ -142,6 +142,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "future work)",
     )
     p.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="execution engine: reference (one event loop per "
+        "replication, the default) or soa (lockstep replication batches "
+        "through the compiled structure-of-arrays driver; bit-identical "
+        "results, REPRO_NATIVE=0 falls back to interleaved reference "
+        "runs)",
+    )
+    p.add_argument(
         "--swf",
         default=None,
         help="replay this SWF trace file for the real workload",
@@ -153,9 +163,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="point: real/uniform/exponential or a pipeline spec such as "
         "'real*0.5 | thin:0.8 + uniform'",
     )
-    p.add_argument("--load", type=float)
-    p.add_argument("--alloc", default="GABL")
-    p.add_argument("--sched", default="FCFS")
+    p.add_argument("--load", type=float, help="point: offered system load")
+    p.add_argument("--alloc", default="GABL", help="point: allocator name")
+    p.add_argument("--sched", default="FCFS", help="point: scheduler name")
     # 'sweep' options (comma-separated grids)
     p.add_argument(
         "--workloads",
@@ -278,10 +288,13 @@ def _run_scenarios(files: Sequence[str], args, trace) -> int:
                 overrides["scale"] = args.scale
             if args.network_mode is not None:
                 overrides["network_mode"] = args.network_mode
+            config_overrides = {}
             if args.topology is not None:
-                overrides["config"] = {
-                    **scenario.config, "topology": args.topology,
-                }
+                config_overrides["topology"] = args.topology
+            if args.engine is not None:
+                config_overrides["engine"] = args.engine
+            if config_overrides:
+                overrides["config"] = {**scenario.config, **config_overrides}
             if overrides:
                 scenario = dataclasses.replace(scenario, **overrides)
         except (OSError, ValueError) as exc:
@@ -473,7 +486,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
     scale = args.scale or default_scale()
-    config = PAPER_CONFIG.with_(topology=args.topology or "mesh")
+    config = PAPER_CONFIG.with_(
+        topology=args.topology or "mesh",
+        engine=args.engine or "reference",
+    )
     trace = None
     if args.swf:
         trace = load_swf(args.swf, max_size=PAPER_CONFIG.processors)

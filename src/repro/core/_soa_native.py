@@ -1,0 +1,1109 @@
+"""Compiled lane driver for the structure-of-arrays engine.
+
+One *lane* is one replication: the whole discrete-event loop of
+:class:`repro.core.simulator.Simulator` -- arrivals, FCFS/SSD queueing,
+GABL/Paging(0)/MBS allocation, all-to-all launches through the batch
+network recurrence, departures and metric accumulation -- runs inside a
+single C function over flat NumPy-owned arrays.  The driver returns to
+Python only to refill the arrival arrays from the (non-vectorisable)
+workload generator, so a replication batch advances in lockstep with a
+handful of FFI calls per lane.
+
+The C translation unit embeds :data:`repro.network._native._SOURCE`
+verbatim, so packet timing goes through the *same* ``solve_rounds``
+routine the batch backend uses, and every float64 operation elsewhere
+(busy-time integral, metric sums, departure times) is performed in the
+reference engine's exact order -- compiled with ``-ffp-contract=off`` --
+making the lane driver bit-identical to the reference engine
+(``tests/test_engine_equivalence.py``).
+
+Like the network kernel, this module is strictly optional:
+:mod:`repro.core.soa` falls back to lockstepped reference simulators
+(same results) when compilation is impossible.  Set ``REPRO_NATIVE=0``
+to disable compilation and dispatch entirely.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+
+from repro.network._native import _SOURCE as _NETWORK_SOURCE
+from repro.network._native import _cache_dir, _compiler
+
+#: pointer-table slots of ``soa_advance``'s first argument; must match
+#: the ``P_*`` enum in the C source below, slot for slot.
+P_F = 0          # f8 scalar block (see F_* below)
+P_I = 1          # i64 scalar block (see I_* below)
+P_ARR = 2        # f8[cap]  arrival times
+P_JW = 3         # i64[cap] request widths
+P_JL = 4         # i64[cap] request lengths
+P_JMSG = 5       # i64[cap] messages per processor
+P_JDEM = 6       # f8[cap]  SSD service-demand keys
+P_JAT = 7        # f8[cap]  allocation times
+P_JPK = 8        # i64[cap] delivered packets per job
+P_JLAT = 9       # f8[cap]  per-job packet latency sums
+P_JBLK = 10      # f8[cap]  per-job packet blocking sums
+P_JNS = 11       # i64[cap] fragment counts
+P_OWNER = 12     # i64[W*L] grid owner (-1 = free)
+P_FREEAT = 13    # f8[W*L*6] channel free-at times
+P_MEMO = 14      # u8[W*L]  failed-request memo, indexed (w-1)*L + (l-1)
+P_FCFS = 15      # i64[cap] FCFS queue storage
+P_SSDK = 16      # f8[cap]  SSD heap keys
+P_SSDS = 17      # i64[cap] SSD heap insertion sequence numbers
+P_SSDJ = 18      # i64[cap] SSD heap job indices
+P_REM = 19       # u8[cap]  SSD lazy-removal flags
+P_CT = 20        # f8[W*L+8]  completion-heap times
+P_CS = 21        # i64[W*L+8] completion-heap sequence numbers
+P_CJ = 22        # i64[W*L+8] completion-heap job indices
+P_IDS = 23       # i64[W*L] allocation coords scratch (node ids, in order)
+P_OFFS = 24      # i64[max_messages] destination-offset scratch
+P_PKK = 25       # f8[window]  scheduler peek scratch: keys
+P_PKS = 26       # i64[window] scheduler peek scratch: sequence numbers
+P_PKJ = 27       # i64[window] scheduler peek scratch: job indices
+P_HTS = 28       # i64[L*W] column-height scratch
+P_ERO = 29       # i64[L*W] width-erosion scratch
+P_SAT = 30       # i64[(W+1)*(L+1)] summed-area-table scratch
+P_NK = 31        # i64[ncap] MBS node level k
+P_NX = 32        # i64[ncap] MBS node base x
+P_NY = 33        # i64[ncap] MBS node base y
+P_NPAR = 34      # i64[ncap] MBS node parent (-1 for roots)
+P_NCHILD = 35    # i64[ncap] MBS node first child (-1 = not yet split)
+P_NSTATE = 36    # u8[ncap]  MBS node state
+P_NEPOCH = 37    # i64[ncap] MBS node epoch
+P_NOWN = 38      # i64[ncap] MBS node owning job (-1)
+P_MHE = 39       # i64[heap arena] MBS free-heap entry epochs
+P_MHN = 40       # i64[heap arena] MBS free-heap entry node indices
+P_MHL = 41       # i64[max_k+1] MBS free-heap lengths per level
+P_MHOFF = 42     # i64[max_k+2] MBS free-heap arena offsets per level
+P_RK = 43        # i64[n_roots] MBS root cover: levels
+P_RX = 44        # i64[n_roots] MBS root cover: base x
+P_RY = 45        # i64[n_roots] MBS root cover: base y
+P_COUNT = 46
+
+#: f8 scalar slots (P_F)
+F_NOW = 0
+F_LASTCHANGE = 1
+F_BUSYINT = 2
+F_TURN = 3
+F_SERV = 4
+F_WAIT = 5
+F_LAT = 6
+F_BLK = 7
+F_PENDING = 8
+F_COUNT = 9
+
+#: i64 scalar slots (P_I)
+I_NEXT = 0       # next arrival index to consume
+I_HASPEND = 1    # a pending arrival event exists
+I_COMPLETED = 2
+I_MEASURED = 3
+I_PACKETS = 4
+I_FRAG = 5
+I_CONTIG = 6
+I_QPEAK = 7
+I_BUSY = 8
+I_SEQ = 9        # completion-event sequence counter
+I_SSEQ = 10      # scheduler insertion sequence counter
+I_FHEAD = 11     # FCFS queue head
+I_FLEN = 12      # FCFS queue length
+I_SLEN = 13      # SSD heap length (including stale entries)
+I_SSIZE = 14     # SSD live size
+I_CLEN = 15      # completion heap length
+I_FREE = 16      # free processors
+I_VERSION = 17   # grid version (bumped on every occupancy change)
+I_MEMOVER = 18   # grid version the failure memo was built against
+I_MBSINIT = 19   # MBS arena initialised
+I_NCNT = 20      # MBS nodes created
+I_COUNT = 21
+
+#: i64 parameter slots (third argument)
+CI_MAGIC = 0
+CI_W = 1
+CI_L = 2
+CI_WRAP = 3
+CI_ALLOC = 4     # 0 = GABL, 1 = Paging(0), 2 = MBS
+CI_SCHED = 5     # 0 = FCFS, 1 = SSD
+CI_WINDOW = 6
+CI_JOBS = 7
+CI_WARMUP = 8
+CI_NPROV = 9     # arrivals materialised so far
+CI_EXH = 10      # the workload iterator is exhausted
+CI_HASUNTIL = 11
+CI_NODECAP = 12
+CI_NROOTS = 13
+CI_MAXK = 14
+CI_COUNT = 15
+
+#: f8 parameter slots (fourth argument)
+CF_HOP = 0
+CF_OCC = 1
+CF_DRAIN = 2
+CF_GAP = 3
+CF_UNTIL = 4
+CF_COUNT = 5
+
+#: pointer-table layout fingerprint, checked by the C entry point so a
+#: stale cached .so can never be driven with a mismatched layout
+LAYOUT_MAGIC = 20260808
+
+#: ``soa_advance`` return codes
+RC_DONE = 1
+RC_NEED_JOBS = 0
+
+_DRIVER_SOURCE = r"""
+/* ==== structure-of-arrays lane driver ================================== */
+
+#include <string.h>
+
+enum {
+    P_F = 0, P_I, P_ARR, P_JW, P_JL, P_JMSG, P_JDEM, P_JAT,
+    P_JPK, P_JLAT, P_JBLK, P_JNS,
+    P_OWNER, P_FREEAT, P_MEMO,
+    P_FCFS, P_SSDK, P_SSDS, P_SSDJ, P_REM,
+    P_CT, P_CS, P_CJ,
+    P_IDS, P_OFFS, P_PKK, P_PKS, P_PKJ,
+    P_HTS, P_ERO, P_SAT,
+    P_NK, P_NX, P_NY, P_NPAR, P_NCHILD, P_NSTATE, P_NEPOCH, P_NOWN,
+    P_MHE, P_MHN, P_MHL, P_MHOFF, P_RK, P_RX, P_RY,
+    P_COUNT
+};
+
+enum { F_NOW = 0, F_LASTCHANGE, F_BUSYINT, F_TURN, F_SERV, F_WAIT,
+       F_LAT, F_BLK, F_PENDING };
+
+enum { I_NEXT = 0, I_HASPEND, I_COMPLETED, I_MEASURED, I_PACKETS, I_FRAG,
+       I_CONTIG, I_QPEAK, I_BUSY, I_SEQ, I_SSEQ, I_FHEAD, I_FLEN, I_SLEN,
+       I_SSIZE, I_CLEN, I_FREE, I_VERSION, I_MEMOVER, I_MBSINIT, I_NCNT };
+
+enum { CI_MAGIC = 0, CI_W, CI_L, CI_WRAP, CI_ALLOC, CI_SCHED, CI_WINDOW,
+       CI_JOBS, CI_WARMUP, CI_NPROV, CI_EXH, CI_HASUNTIL, CI_NODECAP,
+       CI_NROOTS, CI_MAXK };
+
+enum { CF_HOP = 0, CF_OCC, CF_DRAIN, CF_GAP, CF_UNTIL };
+
+#define LAYOUT_MAGIC 20260808
+
+/* MBS block states (repro.alloc.mbs) */
+#define B_FREE 0
+#define B_ALLOC 1
+#define B_SPLIT 2
+#define B_ABSORBED 3
+
+typedef struct {
+    double *F;
+    int64_t *I;
+    const double *arr;
+    const int64_t *jw, *jl, *jmsg;
+    const double *jdem;
+    double *jat;
+    int64_t *jpk;
+    double *jlat, *jblk;
+    int64_t *jns;
+    int64_t *owner;
+    double *free_at;
+    uint8_t *memo;
+    int64_t *fcfs;
+    double *ssdk;
+    int64_t *ssds, *ssdj;
+    uint8_t *rem;
+    double *ct;
+    int64_t *cs, *cj;
+    int64_t *ids, *offs;
+    double *pkk;
+    int64_t *pks, *pkj;
+    int64_t *hts, *ero, *sat;
+    int64_t *nk, *nx, *ny, *npar, *nchild, *nepoch, *nown;
+    uint8_t *nstate;
+    int64_t *mhe, *mhn, *mhl, *mhoff;
+    const int64_t *rk, *rx, *ry;
+    int64_t W, L, alloc_kind, sched_kind, window, jobs_target, warmup;
+    int64_t n_prov, exhausted, has_until, node_cap, n_roots, max_k;
+    int32_t wrap;
+    double hop, occ, drain, gap, until;
+    int64_t ids_len, cur_nsub;
+} SoaCtx;
+
+/* ------------------------------------------------------------ metrics */
+
+static void busy_change(SoaCtx *c, int64_t delta)
+{
+    /* Metrics.on_busy_change, in its exact float-op order */
+    c->F[F_BUSYINT] += (double)c->I[I_BUSY] * (c->F[F_NOW] - c->F[F_LASTCHANGE]);
+    c->I[I_BUSY] += delta;
+    c->F[F_LASTCHANGE] = c->F[F_NOW];
+}
+
+/* --------------------------------------------------- completion heap */
+
+static void comp_push(SoaCtx *c, double t, int64_t seq, int64_t j)
+{
+    int64_t i = c->I[I_CLEN]++;
+    c->ct[i] = t; c->cs[i] = seq; c->cj[i] = j;
+    while (i > 0) {
+        int64_t p = (i - 1) / 2;
+        if (c->ct[p] < c->ct[i] ||
+            (c->ct[p] == c->ct[i] && c->cs[p] < c->cs[i]))
+            break;
+        double tt = c->ct[p]; c->ct[p] = c->ct[i]; c->ct[i] = tt;
+        int64_t ss = c->cs[p]; c->cs[p] = c->cs[i]; c->cs[i] = ss;
+        int64_t jj = c->cj[p]; c->cj[p] = c->cj[i]; c->cj[i] = jj;
+        i = p;
+    }
+}
+
+static int64_t comp_pop(SoaCtx *c, double *t_out)
+{
+    int64_t job = c->cj[0];
+    *t_out = c->ct[0];
+    int64_t n = --c->I[I_CLEN];
+    c->ct[0] = c->ct[n]; c->cs[0] = c->cs[n]; c->cj[0] = c->cj[n];
+    int64_t i = 0;
+    for (;;) {
+        int64_t l = 2 * i + 1, r = l + 1, m = i;
+        if (l < n && (c->ct[l] < c->ct[m] ||
+                      (c->ct[l] == c->ct[m] && c->cs[l] < c->cs[m])))
+            m = l;
+        if (r < n && (c->ct[r] < c->ct[m] ||
+                      (c->ct[r] == c->ct[m] && c->cs[r] < c->cs[m])))
+            m = r;
+        if (m == i) break;
+        double tt = c->ct[m]; c->ct[m] = c->ct[i]; c->ct[i] = tt;
+        int64_t ss = c->cs[m]; c->cs[m] = c->cs[i]; c->cs[i] = ss;
+        int64_t jj = c->cj[m]; c->cj[m] = c->cj[i]; c->cj[i] = jj;
+        i = m;
+    }
+    return job;
+}
+
+/* --------------------------------------------------------- schedulers */
+
+static int64_t qsize(SoaCtx *c)
+{
+    return c->sched_kind == 0 ? c->I[I_FLEN] : c->I[I_SSIZE];
+}
+
+static int ssd_less(SoaCtx *c, int64_t a, int64_t b)
+{
+    if (c->ssdk[a] != c->ssdk[b]) return c->ssdk[a] < c->ssdk[b];
+    return c->ssds[a] < c->ssds[b];
+}
+
+static void ssd_swap(SoaCtx *c, int64_t a, int64_t b)
+{
+    double k = c->ssdk[a]; c->ssdk[a] = c->ssdk[b]; c->ssdk[b] = k;
+    int64_t s = c->ssds[a]; c->ssds[a] = c->ssds[b]; c->ssds[b] = s;
+    int64_t j = c->ssdj[a]; c->ssdj[a] = c->ssdj[b]; c->ssdj[b] = j;
+}
+
+static void ssd_push(SoaCtx *c, double key, int64_t seq, int64_t job)
+{
+    int64_t i = c->I[I_SLEN]++;
+    c->ssdk[i] = key; c->ssds[i] = seq; c->ssdj[i] = job;
+    while (i > 0) {
+        int64_t p = (i - 1) / 2;
+        if (!ssd_less(c, i, p)) break;
+        ssd_swap(c, i, p);
+        i = p;
+    }
+}
+
+static void ssd_pop(SoaCtx *c, double *key, int64_t *seq, int64_t *job)
+{
+    *key = c->ssdk[0]; *seq = c->ssds[0]; *job = c->ssdj[0];
+    int64_t n = --c->I[I_SLEN];
+    c->ssdk[0] = c->ssdk[n]; c->ssds[0] = c->ssds[n]; c->ssdj[0] = c->ssdj[n];
+    int64_t i = 0;
+    for (;;) {
+        int64_t l = 2 * i + 1, r = l + 1, m = i;
+        if (l < n && ssd_less(c, l, m)) m = l;
+        if (r < n && ssd_less(c, r, m)) m = r;
+        if (m == i) break;
+        ssd_swap(c, i, m);
+        i = m;
+    }
+}
+
+static void sched_add(SoaCtx *c, int64_t j)
+{
+    if (c->sched_kind == 0) {
+        c->fcfs[c->I[I_FHEAD] + c->I[I_FLEN]] = j;
+        c->I[I_FLEN]++;
+    } else {
+        c->I[I_SSEQ]++;
+        ssd_push(c, c->jdem[j], c->I[I_SSEQ], j);
+        c->I[I_SSIZE]++;
+    }
+}
+
+/* Scheduler.peek(k): job indices into pkj, in policy order.  The SSD
+ * variant pops live entries (dropping stale ones for good, like the
+ * Python lazy heap) and pushes them back -- pop order over the live
+ * set is determined by the (demand, seq) total order, so the heap
+ * layout never shows through. */
+static int64_t sched_peek(SoaCtx *c, int64_t k)
+{
+    if (c->sched_kind == 0) {
+        int64_t n = c->I[I_FLEN] < k ? c->I[I_FLEN] : k;
+        for (int64_t i = 0; i < n; i++)
+            c->pkj[i] = c->fcfs[c->I[I_FHEAD] + i];
+        return n;
+    }
+    int64_t got = 0;
+    while (c->I[I_SLEN] > 0 && got < k) {
+        double key; int64_t seq, job;
+        ssd_pop(c, &key, &seq, &job);
+        if (c->rem[job]) { c->rem[job] = 0; continue; }
+        c->pkk[got] = key; c->pks[got] = seq; c->pkj[got] = job;
+        got++;
+    }
+    for (int64_t i = 0; i < got; i++)
+        ssd_push(c, c->pkk[i], c->pks[i], c->pkj[i]);
+    return got;
+}
+
+static void sched_remove(SoaCtx *c, int64_t j)
+{
+    if (c->sched_kind == 0) {
+        int64_t head = c->I[I_FHEAD], len = c->I[I_FLEN];
+        if (c->fcfs[head] == j) {
+            c->I[I_FHEAD] = head + 1;
+        } else {
+            int64_t i = head;
+            while (i < head + len && c->fcfs[i] != j) i++;
+            for (; i + 1 < head + len; i++) c->fcfs[i] = c->fcfs[i + 1];
+        }
+        c->I[I_FLEN] = len - 1;
+    } else {
+        c->rem[j] = 1;
+        c->I[I_SSIZE]--;
+    }
+}
+
+/* ------------------------------------------------ contiguous searches */
+
+/* find_suitable_submesh: first free w x l base in row-major order */
+static int find_suitable(SoaCtx *c, int64_t w, int64_t l,
+                         int64_t *bx, int64_t *by)
+{
+    const int64_t W = c->W, L = c->L, W1 = W + 1;
+    if (w > W || l > L) return 0;
+    for (int64_t x = 0; x <= W; x++) c->sat[x] = 0;
+    for (int64_t y = 1; y <= L; y++) {
+        c->sat[y * W1] = 0;
+        for (int64_t x = 1; x <= W; x++) {
+            int64_t f = c->owner[(y - 1) * W + (x - 1)] < 0;
+            c->sat[y * W1 + x] = c->sat[(y - 1) * W1 + x]
+                + c->sat[y * W1 + x - 1] - c->sat[(y - 1) * W1 + x - 1] + f;
+        }
+    }
+    const int64_t want = w * l;
+    for (int64_t y = 0; y + l <= L; y++)
+        for (int64_t x = 0; x + w <= W; x++) {
+            int64_t cnt = c->sat[(y + l) * W1 + x + w]
+                - c->sat[y * W1 + x + w] - c->sat[(y + l) * W1 + x]
+                + c->sat[y * W1 + x];
+            if (cnt == want) { *bx = x; *by = y; return 1; }
+        }
+    return 0;
+}
+
+/* largest_free_rect_bounded: the erosion-tensor argmax of
+ * repro.mesh.rectfind, as a strictly-greater scan in (w, y, x) order
+ * over the packed tie-break key.  Only anchors with erosion >= 1 are
+ * scanned: any carved >= 1 key strictly beats every carved = 0 key, and
+ * carved >= 1 iff erosion >= 1 (the caps are always >= 1 because
+ * max_w <= max_area). */
+static int lfrb(SoaCtx *c, int64_t max_w, int64_t max_l, int64_t max_area,
+                int64_t *ox, int64_t *oy, int64_t *ow, int64_t *ol)
+{
+    const int64_t W = c->W, L = c->L;
+    if (max_w > W) max_w = W;
+    if (max_l > L) max_l = L;
+    if (max_w <= 0 || max_l <= 0 || max_area <= 0) return 0;
+    if (max_w > max_area) max_w = max_area;
+    const int64_t R1 = W + 1, R2 = R1 * R1, R3 = (L + 2) * R2;
+    for (int64_t x = 0; x < W; x++) {
+        int64_t run = 0;
+        for (int64_t y = 0; y < L; y++) {
+            run = c->owner[y * W + x] < 0 ? run + 1 : 0;
+            c->hts[y * W + x] = run;
+            c->ero[y * W + x] = run;
+        }
+    }
+    int64_t best_key = -1, bx = 0, by = 0, bw = 0, bl = 0, be = 0;
+    for (int64_t w = 1; w <= max_w; w++) {
+        if (w > 1)
+            for (int64_t y = 0; y < L; y++)
+                for (int64_t x = 0; x + w <= W; x++) {
+                    int64_t h = c->hts[y * W + x + w - 1];
+                    if (h < c->ero[y * W + x]) c->ero[y * W + x] = h;
+                }
+        int64_t caps = max_area / w;
+        if (caps > max_l) caps = max_l;
+        for (int64_t y = 0; y < L; y++)
+            for (int64_t x = 0; x + w <= W; x++) {
+                int64_t e = c->ero[y * W + x];
+                if (e <= 0) continue;
+                int64_t carved = e < caps ? e : caps;
+                int64_t key = carved * w * R3 + (e + (L - 1 - y)) * R2
+                    + (W - x) * R1 + w;
+                if (key > best_key) {
+                    best_key = key;
+                    bx = x; by = y; bw = w; bl = carved; be = e;
+                }
+            }
+    }
+    if (best_key < 0) return 0;
+    *ox = bx; *oy = by - be + 1; *ow = bw; *ol = bl;
+    return 1;
+}
+
+/* mark a free rectangle as owned by job j; append its node ids
+ * (row-major, matching SubMesh.nodes()) to the coords scratch */
+static void take_rect(SoaCtx *c, int64_t j, int64_t x0, int64_t y0,
+                      int64_t w, int64_t l)
+{
+    for (int64_t y = y0; y < y0 + l; y++)
+        for (int64_t x = x0; x < x0 + w; x++) {
+            c->owner[y * c->W + x] = j;
+            c->ids[c->ids_len++] = y * c->W + x;
+        }
+    c->I[I_FREE] -= w * l;
+}
+
+/* ----------------------------------------------------- GABL allocator */
+
+static int alloc_gabl(SoaCtx *c, int64_t j, int64_t w, int64_t l)
+{
+    int64_t bx, by;
+    /* contiguous attempt, both orientations, before the free-count gate */
+    if (find_suitable(c, w, l, &bx, &by)) {
+        take_rect(c, j, bx, by, w, l);
+        c->cur_nsub = 1;
+        return 1;
+    }
+    if (w != l && find_suitable(c, l, w, &bx, &by)) {
+        take_rect(c, j, bx, by, l, w);
+        c->cur_nsub = 1;
+        return 1;
+    }
+    if (w * l > c->I[I_FREE]) return 0;
+    /* greedy largest-first decomposition */
+    int64_t remaining = w * l, bw = w, bl = l, nsub = 0;
+    while (remaining > 0) {
+        int64_t x1, y1, w1, l1, x2, y2, w2, l2;
+        int f1 = lfrb(c, bw, bl, remaining, &x1, &y1, &w1, &l1);
+        if (bw != bl) {
+            int f2 = lfrb(c, bl, bw, remaining, &x2, &y2, &w2, &l2);
+            if (f2 && (!f1 || w2 * l2 > w1 * l1)) {
+                f1 = 1; x1 = x2; y1 = y2; w1 = w2; l1 = l2;
+            }
+        }
+        if (!f1) return -1;  /* invariant: free >= remaining */
+        take_rect(c, j, x1, y1, w1, l1);
+        nsub++;
+        remaining -= w1 * l1;
+        bw = w1; bl = l1;
+    }
+    c->cur_nsub = nsub;
+    return 1;
+}
+
+/* ------------------------------------------------ Paging(0) allocator */
+
+static int alloc_paging(SoaCtx *c, int64_t j, int64_t w, int64_t l)
+{
+    const int64_t need = w * l, W = c->W, L = c->L;
+    if (need > c->I[I_FREE]) return 0;
+    int64_t cnt = 0, runs = 0, prev_x = -2, prev_y = -1;
+    for (int64_t y = 0; y < L && cnt < need; y++)
+        for (int64_t x = 0; x < W && cnt < need; x++) {
+            if (c->owner[y * W + x] >= 0) continue;
+            c->owner[y * W + x] = j;
+            c->ids[c->ids_len++] = y * W + x;
+            cnt++;
+            if (y != prev_y || x != prev_x + 1) runs++;
+            prev_x = x; prev_y = y;
+        }
+    c->I[I_FREE] -= need;
+    c->cur_nsub = runs;
+    return 1;
+}
+
+/* ------------------------------------------------------ MBS allocator */
+
+static int mbs_entry_less(SoaCtx *c, int64_t base, int64_t a, int64_t b)
+{
+    /* heap entries order by (node y, node x, entry epoch) */
+    int64_t na = c->mhn[base + a], nb = c->mhn[base + b];
+    if (c->ny[na] != c->ny[nb]) return c->ny[na] < c->ny[nb];
+    if (c->nx[na] != c->nx[nb]) return c->nx[na] < c->nx[nb];
+    return c->mhe[base + a] < c->mhe[base + b];
+}
+
+static void mbs_entry_swap(SoaCtx *c, int64_t base, int64_t a, int64_t b)
+{
+    int64_t e = c->mhe[base + a]; c->mhe[base + a] = c->mhe[base + b];
+    c->mhe[base + b] = e;
+    int64_t n = c->mhn[base + a]; c->mhn[base + a] = c->mhn[base + b];
+    c->mhn[base + b] = n;
+}
+
+static void mbs_sift_down(SoaCtx *c, int64_t base, int64_t n, int64_t i)
+{
+    for (;;) {
+        int64_t l = 2 * i + 1, r = l + 1, m = i;
+        if (l < n && mbs_entry_less(c, base, l, m)) m = l;
+        if (r < n && mbs_entry_less(c, base, r, m)) m = r;
+        if (m == i) break;
+        mbs_entry_swap(c, base, i, m);
+        i = m;
+    }
+}
+
+static void mbs_heap_push(SoaCtx *c, int64_t k, int64_t node)
+{
+    int64_t base = c->mhoff[k];
+    int64_t cap = c->mhoff[k + 1] - base;
+    if (c->mhl[k] == cap) {
+        /* compact: drop stale entries (pop order over the valid set is
+         * key-determined, so compaction never changes the sequence) */
+        int64_t n = 0;
+        for (int64_t i = 0; i < c->mhl[k]; i++) {
+            int64_t nd = c->mhn[base + i];
+            if (c->nstate[nd] == B_FREE && c->nepoch[nd] == c->mhe[base + i]) {
+                c->mhe[base + n] = c->mhe[base + i];
+                c->mhn[base + n] = nd;
+                n++;
+            }
+        }
+        c->mhl[k] = n;
+        for (int64_t i = n / 2 - 1; i >= 0; i--)
+            mbs_sift_down(c, base, n, i);
+    }
+    int64_t i = c->mhl[k]++;
+    c->mhe[base + i] = c->nepoch[node];
+    c->mhn[base + i] = node;
+    while (i > 0) {
+        int64_t p = (i - 1) / 2;
+        if (!mbs_entry_less(c, base, i, p)) break;
+        mbs_entry_swap(c, base, i, p);
+        i = p;
+    }
+}
+
+static void mbs_heap_pop_top(SoaCtx *c, int64_t k)
+{
+    int64_t base = c->mhoff[k];
+    int64_t n = --c->mhl[k];
+    c->mhe[base] = c->mhe[base + n];
+    c->mhn[base] = c->mhn[base + n];
+    mbs_sift_down(c, base, n, 0);
+}
+
+static void mbs_push_free(SoaCtx *c, int64_t node)
+{
+    c->nstate[node] = B_FREE;
+    c->nepoch[node]++;
+    mbs_heap_push(c, c->nk[node], node);
+}
+
+static int64_t mbs_pop_free(SoaCtx *c, int64_t k)
+{
+    int64_t base = c->mhoff[k];
+    while (c->mhl[k] > 0) {
+        int64_t node = c->mhn[base];
+        int valid = c->nstate[node] == B_FREE
+            && c->nepoch[node] == c->mhe[base];
+        mbs_heap_pop_top(c, k);
+        if (valid) return node;
+    }
+    return -1;
+}
+
+static int mbs_peek_free(SoaCtx *c, int64_t k)
+{
+    int64_t base = c->mhoff[k];
+    while (c->mhl[k] > 0) {
+        int64_t node = c->mhn[base];
+        if (c->nstate[node] == B_FREE && c->nepoch[node] == c->mhe[base])
+            return 1;
+        mbs_heap_pop_top(c, k);
+    }
+    return 0;
+}
+
+static int64_t mbs_new_node(SoaCtx *c, int64_t k, int64_t x, int64_t y,
+                            int64_t parent)
+{
+    int64_t n = c->I[I_NCNT]++;
+    if (n >= c->node_cap) return -1;
+    c->nk[n] = k; c->nx[n] = x; c->ny[n] = y;
+    c->npar[n] = parent; c->nchild[n] = -1;
+    c->nstate[n] = B_FREE; c->nepoch[n] = 0; c->nown[n] = -1;
+    return n;
+}
+
+static int mbs_init(SoaCtx *c)
+{
+    for (int64_t k = 0; k <= c->max_k; k++) c->mhl[k] = 0;
+    for (int64_t i = 0; i < c->n_roots; i++) {
+        int64_t n = mbs_new_node(c, c->rk[i], c->rx[i], c->ry[i], -1);
+        if (n < 0) return -1;
+        mbs_push_free(c, n);
+    }
+    c->I[I_MBSINIT] = 1;
+    return 0;
+}
+
+static int64_t mbs_split_down(SoaCtx *c, int64_t block, int64_t target_k)
+{
+    while (c->nk[block] > target_k) {
+        c->nstate[block] = B_SPLIT;
+        c->nepoch[block]++;
+        if (c->nchild[block] < 0) {
+            int64_t h = (int64_t)1 << (c->nk[block] - 1);
+            int64_t x = c->nx[block], y = c->ny[block];
+            int64_t c0 = mbs_new_node(c, c->nk[block] - 1, x, y, block);
+            int64_t c1 = mbs_new_node(c, c->nk[block] - 1, x + h, y, block);
+            int64_t c2 = mbs_new_node(c, c->nk[block] - 1, x, y + h, block);
+            int64_t c3 = mbs_new_node(c, c->nk[block] - 1, x + h, y + h,
+                                      block);
+            if (c3 < 0) return -1;
+            c->nchild[block] = c0;
+            (void)c1; (void)c2;
+        }
+        int64_t first = c->nchild[block];
+        mbs_push_free(c, first + 1);
+        mbs_push_free(c, first + 2);
+        mbs_push_free(c, first + 3);
+        block = first;
+    }
+    return block;
+}
+
+static int64_t mbs_take_block(SoaCtx *c, int64_t k)
+{
+    int64_t block = mbs_pop_free(c, k);
+    if (block < 0) {
+        for (int64_t j = k + 1; j <= c->max_k; j++) {
+            if (mbs_peek_free(c, j)) {
+                block = mbs_pop_free(c, j);
+                block = mbs_split_down(c, block, k);
+                break;
+            }
+        }
+        if (block < 0) return -1;
+    }
+    c->nstate[block] = B_ALLOC;
+    c->nepoch[block]++;
+    return block;
+}
+
+static void mbs_merge_up(SoaCtx *c, int64_t block)
+{
+    int64_t parent = c->npar[block];
+    while (parent >= 0) {
+        int64_t first = c->nchild[parent];
+        for (int64_t i = 0; i < 4; i++)
+            if (c->nstate[first + i] != B_FREE) return;
+        for (int64_t i = 0; i < 4; i++) {
+            c->nstate[first + i] = B_ABSORBED;
+            c->nepoch[first + i]++;
+        }
+        mbs_push_free(c, parent);
+        parent = c->npar[parent];
+    }
+}
+
+static int alloc_mbs(SoaCtx *c, int64_t j, int64_t w, int64_t l)
+{
+    int64_t p = w * l;
+    if (p > c->I[I_FREE]) return 0;
+    if (!c->I[I_MBSINIT] && mbs_init(c) < 0) return -1;
+    int64_t needs[48];
+    for (int64_t i = 0; i <= c->max_k; i++) needs[i] = 0;
+    int64_t rest = p, level = 0;
+    while (rest) {
+        int64_t d = rest % 4;
+        rest /= 4;
+        if (level > c->max_k)
+            needs[c->max_k] += d << (2 * (level - c->max_k));
+        else
+            needs[level] += d;
+        level++;
+    }
+    int64_t nsub = 0;
+    for (int64_t i = c->max_k; i >= 0; i--) {
+        while (needs[i]) {
+            int64_t block = mbs_take_block(c, i);
+            if (block < 0) {
+                if (i == 0) return -1;  /* free lists inconsistent */
+                needs[i - 1] += 4 * needs[i];
+                needs[i] = 0;
+                break;
+            }
+            /* grant: mark the grid and append the block's node ids
+             * row-major, in block acquisition order */
+            c->nown[block] = j;
+            int64_t side = (int64_t)1 << c->nk[block];
+            take_rect(c, j, c->nx[block], c->ny[block], side, side);
+            nsub++;
+            needs[i]--;
+        }
+    }
+    c->cur_nsub = nsub;
+    return 1;
+}
+
+static void release_mbs(SoaCtx *c, int64_t j)
+{
+    /* push all of the job's blocks free, then cascade merges for those
+     * still free.  Scanning the arena in index order instead of the
+     * Python token order is outcome-identical: per-node epochs do not
+     * depend on cross-node push order, heap pop order is key-determined,
+     * and the buddy-merge rewriting is confluent. */
+    int64_t cnt = c->I[I_NCNT];
+    for (int64_t n = 0; n < cnt; n++)
+        if (c->nstate[n] == B_ALLOC && c->nown[n] == j) {
+            c->nown[n] = -1;
+            mbs_push_free(c, n);
+        }
+    for (int64_t n = 0; n < cnt; n++)
+        if (c->npar[n] >= 0 && c->nstate[n] == B_FREE
+            && c->nown[n] == -1 && c->nepoch[n] > 0) {
+            /* only blocks freed by this release can trigger new merges,
+             * and re-running merge_up on other free blocks is a no-op
+             * (their buddies' states are unchanged since their own
+             * release), so a full sweep is safe and simple */
+            mbs_merge_up(c, n);
+        }
+}
+
+/* ------------------------------------------------- allocation wrapper */
+
+static int try_alloc(SoaCtx *c, int64_t j)
+{
+    const int64_t w = c->jw[j], l = c->jl[j];
+    if (c->I[I_VERSION] != c->I[I_MEMOVER]) {
+        memset(c->memo, 0, (size_t)(c->W * c->L));
+        c->I[I_MEMOVER] = c->I[I_VERSION];
+    }
+    const int64_t mi = (w - 1) * c->L + (l - 1);
+    if (c->memo[mi]) return 0;
+    c->ids_len = 0;
+    int r;
+    switch (c->alloc_kind) {
+    case 0: r = alloc_gabl(c, j, w, l); break;
+    case 1: r = alloc_paging(c, j, w, l); break;
+    case 2: r = alloc_mbs(c, j, w, l); break;
+    default: return -1;
+    }
+    if (r < 0) return -1;
+    if (!r) { c->memo[mi] = 1; return 0; }
+    c->jns[j] = c->cur_nsub;
+    c->I[I_VERSION]++;
+    return 1;
+}
+
+static void release_job(SoaCtx *c, int64_t j)
+{
+    const int64_t cells = c->W * c->L;
+    for (int64_t i = 0; i < cells; i++)
+        if (c->owner[i] == j) {
+            c->owner[i] = -1;
+            c->I[I_FREE]++;
+        }
+    if (c->alloc_kind == 2) release_mbs(c, j);
+    c->I[I_VERSION]++;
+}
+
+/* -------------------------------------------------------- job launch */
+
+/* AllToAllTraffic.destination_offsets, ported verbatim */
+static void dest_offsets(int64_t *offs, int64_t n, int64_t msgs)
+{
+    const int64_t span = n - 1;
+    int64_t near_mag = 0;
+    int64_t far_steps = (msgs + 1) / 2;
+    int64_t far_stride = span / (far_steps > 0 ? far_steps : 1);
+    if (far_stride < 1) far_stride = 1;
+    int64_t far_idx = 0;
+    for (int64_t k = 0; k < msgs; k++) {
+        if ((k & 1) == 0) {
+            near_mag = near_mag % span + 1;
+            offs[k] = near_mag;
+        } else {
+            int64_t mag = 1 + (span / 2 + far_idx * far_stride) % span;
+            far_idx++;
+            offs[k] = n - mag;
+        }
+    }
+}
+
+static void launch(SoaCtx *c, int64_t j)
+{
+    const int64_t size = c->jw[j] * c->jl[j];
+    const int64_t msgs = c->jmsg[j];
+    const double now = c->F[F_NOW];
+    if (size < 2) {
+        c->I[I_SEQ]++;
+        comp_push(c, now + (double)msgs * c->gap, c->I[I_SEQ], j);
+        return;
+    }
+    dest_offsets(c->offs, size, msgs);
+    double out[3];
+    out[0] = 0.0; out[1] = 0.0; out[2] = now;
+    solve_rounds(c->ids, size, c->offs, msgs, now, c->gap, c->free_at,
+                 c->hop, c->occ, c->drain, c->W, c->L, c->wrap, out);
+    c->jpk[j] = size * msgs;
+    c->jlat[j] = out[0];
+    c->jblk[j] = out[1];
+    c->I[I_SEQ]++;
+    comp_push(c, out[2], c->I[I_SEQ], j);
+}
+
+static void start_job(SoaCtx *c, int64_t j)
+{
+    c->jat[j] = c->F[F_NOW];
+    busy_change(c, c->jw[j] * c->jl[j]);
+    launch(c, j);
+}
+
+static int dispatch(SoaCtx *c)
+{
+    for (;;) {
+        if (qsize(c) <= 0) return 0;
+        int progress = 0;
+        int64_t cnt = sched_peek(c, c->window);
+        for (int64_t i = 0; i < cnt; i++) {
+            int64_t j = c->pkj[i];
+            int r = try_alloc(c, j);
+            if (r < 0) return -1;
+            if (r) {
+                sched_remove(c, j);
+                start_job(c, j);
+                progress = 1;
+                break;
+            }
+        }
+        if (!progress) return 0;
+    }
+}
+
+/* ---------------------------------------------------------- main loop */
+
+/* Advance one lane until it finishes (1) or runs out of materialised
+ * arrivals (0; the caller refills the job arrays and calls again).
+ * Negative return values signal internal invariant violations. */
+int64_t soa_advance(void **P, const int64_t *CI, const double *CF)
+{
+    if (CI[CI_MAGIC] != LAYOUT_MAGIC) return -99;
+    SoaCtx ctx, *c = &ctx;
+    c->F = (double *)P[P_F];
+    c->I = (int64_t *)P[P_I];
+    c->arr = (const double *)P[P_ARR];
+    c->jw = (const int64_t *)P[P_JW];
+    c->jl = (const int64_t *)P[P_JL];
+    c->jmsg = (const int64_t *)P[P_JMSG];
+    c->jdem = (const double *)P[P_JDEM];
+    c->jat = (double *)P[P_JAT];
+    c->jpk = (int64_t *)P[P_JPK];
+    c->jlat = (double *)P[P_JLAT];
+    c->jblk = (double *)P[P_JBLK];
+    c->jns = (int64_t *)P[P_JNS];
+    c->owner = (int64_t *)P[P_OWNER];
+    c->free_at = (double *)P[P_FREEAT];
+    c->memo = (uint8_t *)P[P_MEMO];
+    c->fcfs = (int64_t *)P[P_FCFS];
+    c->ssdk = (double *)P[P_SSDK];
+    c->ssds = (int64_t *)P[P_SSDS];
+    c->ssdj = (int64_t *)P[P_SSDJ];
+    c->rem = (uint8_t *)P[P_REM];
+    c->ct = (double *)P[P_CT];
+    c->cs = (int64_t *)P[P_CS];
+    c->cj = (int64_t *)P[P_CJ];
+    c->ids = (int64_t *)P[P_IDS];
+    c->offs = (int64_t *)P[P_OFFS];
+    c->pkk = (double *)P[P_PKK];
+    c->pks = (int64_t *)P[P_PKS];
+    c->pkj = (int64_t *)P[P_PKJ];
+    c->hts = (int64_t *)P[P_HTS];
+    c->ero = (int64_t *)P[P_ERO];
+    c->sat = (int64_t *)P[P_SAT];
+    c->nk = (int64_t *)P[P_NK];
+    c->nx = (int64_t *)P[P_NX];
+    c->ny = (int64_t *)P[P_NY];
+    c->npar = (int64_t *)P[P_NPAR];
+    c->nchild = (int64_t *)P[P_NCHILD];
+    c->nstate = (uint8_t *)P[P_NSTATE];
+    c->nepoch = (int64_t *)P[P_NEPOCH];
+    c->nown = (int64_t *)P[P_NOWN];
+    c->mhe = (int64_t *)P[P_MHE];
+    c->mhn = (int64_t *)P[P_MHN];
+    c->mhl = (int64_t *)P[P_MHL];
+    c->mhoff = (int64_t *)P[P_MHOFF];
+    c->rk = (const int64_t *)P[P_RK];
+    c->rx = (const int64_t *)P[P_RX];
+    c->ry = (const int64_t *)P[P_RY];
+    c->W = CI[CI_W]; c->L = CI[CI_L];
+    c->wrap = (int32_t)CI[CI_WRAP];
+    c->alloc_kind = CI[CI_ALLOC];
+    c->sched_kind = CI[CI_SCHED];
+    c->window = CI[CI_WINDOW];
+    c->jobs_target = CI[CI_JOBS];
+    c->warmup = CI[CI_WARMUP];
+    c->n_prov = CI[CI_NPROV];
+    c->exhausted = CI[CI_EXH];
+    c->has_until = CI[CI_HASUNTIL];
+    c->node_cap = CI[CI_NODECAP];
+    c->n_roots = CI[CI_NROOTS];
+    c->max_k = CI[CI_MAXK];
+    c->hop = CF[CF_HOP];
+    c->occ = CF[CF_OCC];
+    c->drain = CF[CF_DRAIN];
+    c->gap = CF[CF_GAP];
+    c->until = CF[CF_UNTIL];
+    c->ids_len = 0;
+    c->cur_nsub = 0;
+    if (c->max_k >= 48) return -98;
+
+    double *F = c->F;
+    int64_t *I = c->I;
+    for (;;) {
+        if (!I[I_HASPEND] && I[I_NEXT] < c->n_prov) {
+            /* only reachable on the very first call: afterwards the
+             * next arrival is scheduled while consuming the previous
+             * one, exactly like _schedule_next_arrival */
+            double at = c->arr[I[I_NEXT]];
+            F[F_PENDING] = at > F[F_NOW] ? at : F[F_NOW];
+            I[I_HASPEND] = 1;
+        }
+        if (!I[I_HASPEND] && !c->exhausted) return 0;  /* NEED_JOBS */
+        int has_comp = I[I_CLEN] > 0;
+        if (!I[I_HASPEND] && !has_comp) {
+            /* event heap drained: Engine.run clamps the clock forward
+             * to `until` when one was given */
+            if (c->has_until && c->until > F[F_NOW]) F[F_NOW] = c->until;
+            return 1;  /* DONE */
+        }
+        /* next event: DEPARTURE (priority 1) beats ARRIVAL (2) at ties */
+        int take_comp;
+        if (!has_comp) take_comp = 0;
+        else if (!I[I_HASPEND]) take_comp = 1;
+        else take_comp = c->ct[0] <= F[F_PENDING];
+        double evt = take_comp ? c->ct[0] : F[F_PENDING];
+        if (c->has_until && evt > c->until) {
+            F[F_NOW] = c->until;
+            return 1;  /* DONE: the event stays queued, like Engine.run */
+        }
+        if (take_comp) {
+            double t;
+            int64_t j = comp_pop(c, &t);
+            F[F_NOW] = t;
+            release_job(c, j);
+            busy_change(c, -(c->jw[j] * c->jl[j]));
+            I[I_COMPLETED]++;
+            if (I[I_COMPLETED] > c->warmup) {
+                I[I_MEASURED]++;
+                const double dep = F[F_NOW];
+                F[F_TURN] += dep - c->arr[j];
+                F[F_SERV] += dep - c->jat[j];
+                F[F_WAIT] += c->jat[j] - c->arr[j];
+                F[F_LAT] += c->jlat[j];
+                F[F_BLK] += c->jblk[j];
+                I[I_PACKETS] += c->jpk[j];
+                I[I_FRAG] += c->jns[j];
+                if (c->jns[j] == 1) I[I_CONTIG]++;
+            }
+            if (I[I_COMPLETED] >= c->jobs_target) return 1;  /* DONE */
+            if (dispatch(c) < 0) return -1;
+        } else {
+            /* consuming arrival j immediately schedules arrival j+1
+             * (at the *current* clock), so j+1 must be materialised
+             * first -- refill before touching the pending arrival */
+            if (I[I_NEXT] + 1 >= c->n_prov && !c->exhausted)
+                return 0;  /* NEED_JOBS */
+            F[F_NOW] = F[F_PENDING];
+            I[I_HASPEND] = 0;
+            int64_t j = I[I_NEXT]++;
+            sched_add(c, j);
+            int64_t q = qsize(c);
+            if (q > I[I_QPEAK]) I[I_QPEAK] = q;
+            if (I[I_NEXT] < c->n_prov) {
+                double at = c->arr[I[I_NEXT]];
+                F[F_PENDING] = at > F[F_NOW] ? at : F[F_NOW];
+                I[I_HASPEND] = 1;
+            }
+            if (dispatch(c) < 0) return -1;
+        }
+    }
+}
+"""
+
+#: the full translation unit: the network reservation kernel first (the
+#: driver calls its ``solve_rounds`` directly), then the lane driver
+_SOURCE = _NETWORK_SOURCE + _DRIVER_SOURCE
+
+_UNSET = object()
+_kernel = _UNSET
+
+
+def _build() -> ctypes.CDLL | None:
+    """Compile and load the lane driver (same recipe as the network kernel)."""
+    cc = _compiler()
+    if cc is None:
+        return None
+    cache_dir = _cache_dir()
+    if cache_dir is None:
+        return None
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    lib_path = cache_dir / f"soa_{digest}.so"
+    if lib_path.is_file() and os.stat(lib_path).st_uid != os.getuid():
+        return None  # never load code we did not write
+    if not lib_path.is_file():
+        src = cache_dir / f"soa_{digest}.c"
+        src.write_text(_SOURCE)
+        fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache_dir)
+        os.close(fd)
+        cmd = [cc, "-O2", "-fPIC", "-shared", "-ffp-contract=off",
+               str(src), "-o", tmp]
+        try:
+            subprocess.run(cmd, check=True, capture_output=True, timeout=60)
+            os.replace(tmp, lib_path)
+        except (OSError, subprocess.SubprocessError):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return None
+    try:
+        lib = ctypes.CDLL(str(lib_path))
+    except OSError:
+        return None
+    lib.soa_advance.restype = ctypes.c_int64
+    lib.soa_advance.argtypes = [
+        ctypes.POINTER(ctypes.c_void_p), ctypes.c_void_p, ctypes.c_void_p,
+    ]
+    return lib
+
+
+def load_kernel() -> ctypes.CDLL | None:
+    """The compiled lane driver, or ``None`` when unavailable (memoised)."""
+    global _kernel
+    if _kernel is _UNSET:
+        if os.environ.get("REPRO_NATIVE", "1") == "0":
+            _kernel = None
+        else:
+            _kernel = _build()
+    return _kernel
+
+
+def reset_kernel_cache() -> None:
+    """Forget the memoised kernel (tests toggling ``REPRO_NATIVE``)."""
+    global _kernel
+    _kernel = _UNSET

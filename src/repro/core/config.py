@@ -16,6 +16,15 @@ from typing import Any
 #: package; the registry in repro.network.backend is the source of truth)
 NETWORK_MODES = ("batch", "fast", "causal", "sfb")
 
+#: simulation engines selectable through :attr:`SimConfig.engine`:
+#: "reference" runs one Python event loop per replication (the original
+#: implementation), "soa" advances a whole replication batch in lockstep
+#: through the structure-of-arrays driver (repro.core.soa), which runs
+#: the event loop, schedulers and allocators in a compiled kernel when a
+#: C compiler is available.  Both engines are bit-identical (enforced by
+#: tests/test_engine_equivalence.py), so the choice never affects results.
+ENGINES = ("reference", "soa")
+
 #: resolution of the dyadic simulation-time grid (ticks per time unit).
 #: Workloads snap arrival times onto it so that -- together with
 #: grid-exact timing constants -- every derived event time is an exact
@@ -66,6 +75,9 @@ class SimConfig:
     # --- scheduling
     scheduler_window: int = 1  #: 1 = paper's head-blocking semantics
 
+    # --- execution engine (see repro.core.soa; results are identical)
+    engine: str = "reference"  #: "reference" (per-run loop) or "soa" (lockstep)
+
     def __post_init__(self) -> None:
         if self.width <= 0 or self.length <= 0:
             raise ValueError("mesh dimensions must be positive")
@@ -86,6 +98,10 @@ class SimConfig:
             raise ValueError("trace_demand_multiplier must be positive")
         if self.round_gap_factor < 1.0:
             raise ValueError("round_gap_factor must be >= 1 (injection floor)")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}"
+            )
         if self.jobs <= 0:
             raise ValueError("jobs must be positive")
         if not 0 <= self.warmup_jobs < self.jobs:

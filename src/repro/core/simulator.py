@@ -95,9 +95,41 @@ class Simulator:
     # ------------------------------------------------------------------ run
     def run(self) -> RunResult:
         """Execute the run and return the aggregated metrics."""
+        self.start()
+        self.advance()
+        return self.finalize()
+
+    # ------------------------------------------------- incremental execution
+    # The split API lets a driver interleave several independent runs
+    # (repro.core.soa advances a replication batch in lockstep rounds).
+    # ``start(); advance(); finalize()`` is exactly ``run()``.
+    def start(self) -> None:
+        """Prime the run: open the job stream, schedule the first arrival."""
         self._jobs = self.workload.jobs(self.seed)
         self._schedule_next_arrival()
-        self.engine.run(until=self.config.max_time, stop=lambda: self._done)
+
+    def advance(self, max_events: int | None = None) -> bool:
+        """Process up to ``max_events`` events; return True once finished.
+
+        With ``max_events=None`` the run executes to completion in one
+        call.  A run is finished when the completion target is reached,
+        the event heap drains, or ``config.max_time`` is hit -- in all
+        three cases further calls are no-ops.
+        """
+        before = self.engine.processed
+        self.engine.run(
+            until=self.config.max_time,
+            stop=lambda: self._done,
+            max_events=max_events,
+        )
+        if self._done or max_events is None:
+            return True
+        # budget not exhausted => the engine stopped for a terminal reason
+        # (empty heap or the max_time horizon), not the event budget
+        return self.engine.processed - before < max_events
+
+    def finalize(self) -> RunResult:
+        """Close out the run and return the aggregated metrics."""
         now = self.engine.now
         for obs in self.observers:
             obs.on_end(now)

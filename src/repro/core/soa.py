@@ -1,0 +1,136 @@
+"""Lockstep structure-of-arrays execution of replication batches.
+
+One grid point's replication batch -- same strategy combination,
+different seeds -- advances as a set of *lanes* that step in rounds.
+When the compiled lane driver (:mod:`repro.core._soa_native`) is
+available and the point uses strategies it implements, each round is one
+C call per live lane (``soa_advance``) that executes the discrete-event
+loop, schedulers, allocators and wormhole timing over flat arrays
+(:class:`repro.alloc.soa_state.LaneState`), surfacing to Python only to
+refill arrivals.  Otherwise the lanes are ordinary
+:class:`~repro.core.simulator.Simulator` runs interleaved through the
+``start``/``advance``/``finalize`` split API -- same lockstep shape,
+reference implementation.
+
+Both paths, and the per-run reference engine, are bit-identical on the
+dyadic time grid; ``tests/test_engine_equivalence.py`` enforces it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.alloc.soa_state import ALLOC_KINDS, SCHED_KINDS, LaneState
+from repro.core import _soa_native as native
+from repro.core.hooks import SimObserver
+from repro.core.metrics import RunResult
+from repro.core.simulator import Simulator
+
+#: event budget per lane per round on the fallback path
+ADVANCE_EVENTS = 4096
+
+#: builds one lane's simulator: ``build(seed, observers) -> Simulator``
+SimBuilder = Callable[[int, Sequence[SimObserver]], Simulator]
+
+#: builds one lane's extra observers: ``factory(seed) -> observers``
+ObserverFactory = Callable[[int], Sequence[SimObserver]]
+
+
+def native_supported(sim: Simulator) -> bool:
+    """True when the compiled driver can run this simulator's point.
+
+    The driver implements the paper's strategy matrix -- GABL /
+    Paging(0) / MBS under FCFS / SSD with the batch network backend --
+    with default strategy options.  Anything else (other allocators,
+    rotation disabled, non-row-major paging, extra observers, per-job
+    records) falls back to the lockstep reference path.
+    """
+    if native.load_kernel() is None:
+        return False
+    if sim.network.mode != "batch":
+        return False
+    if len(sim.observers) != 1 or sim.metrics.keep_jobs:
+        return False
+    alloc = sim.allocator
+    if alloc.name not in ALLOC_KINDS:
+        return False
+    if alloc.name == "GABL" and not getattr(alloc, "allow_rotation", False):
+        return False
+    if alloc.name == "Paging(0)" and alloc.indexing != "row-major":
+        return False
+    return sim.scheduler.name in SCHED_KINDS
+
+
+def run_point_batch(
+    build: SimBuilder,
+    seeds: Iterable[int],
+    observer_factory: ObserverFactory | None = None,
+) -> list[RunResult]:
+    """Run one replication batch in lockstep; one result per seed.
+
+    ``build`` constructs a fresh simulator for a seed (the caller binds
+    the point's strategies and workload); ``observer_factory`` attaches
+    per-lane observers on the fallback path and forces it when given.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        return []
+    probe = build(seeds[0], ())
+    if observer_factory is None and native_supported(probe):
+        return _run_native(probe, seeds)
+    return _run_lockstep(build, seeds, observer_factory, probe)
+
+
+# ---------------------------------------------------------------- native
+def _run_native(probe: Simulator, seeds: list[int]) -> list[RunResult]:
+    kernel = native.load_kernel()
+    assert kernel is not None
+    alloc_kind = ALLOC_KINDS[probe.allocator.name]
+    sched_kind = SCHED_KINDS[probe.scheduler.name]
+    lanes = [
+        LaneState(probe.config, probe.workload, seed, alloc_kind, sched_kind)
+        for seed in seeds
+    ]
+    for lane in lanes:
+        lane.feed()
+    live = list(range(len(lanes)))
+    while live:
+        nxt = []
+        for i in live:
+            lane = lanes[i]
+            rc = kernel.soa_advance(lane.ptable, lane.ci_ptr, lane.cf_ptr)
+            if rc == native.RC_DONE:
+                continue
+            if rc == native.RC_NEED_JOBS:
+                lane.feed()
+                nxt.append(i)
+            else:
+                raise RuntimeError(
+                    f"soa kernel failed with code {rc} "
+                    f"(seed {lane.seed}, {probe.allocator.name}/"
+                    f"{probe.scheduler.name})"
+                )
+        live = nxt
+    return [lane.result() for lane in lanes]
+
+
+# -------------------------------------------------------------- fallback
+def _run_lockstep(
+    build: SimBuilder,
+    seeds: list[int],
+    observer_factory: ObserverFactory | None,
+    probe: Simulator,
+) -> list[RunResult]:
+    sims: list[Simulator] = []
+    for idx, seed in enumerate(seeds):
+        extra = tuple(observer_factory(seed)) if observer_factory else ()
+        if idx == 0 and not extra:
+            sims.append(probe)  # reuse: built with no extra observers
+        else:
+            sims.append(build(seed, extra))
+    for sim in sims:
+        sim.start()
+    live = list(range(len(sims)))
+    while live:
+        live = [i for i in live if not sims[i].advance(ADVANCE_EVENTS)]
+    return [sim.finalize() for sim in sims]

@@ -41,6 +41,7 @@ from typing import Callable, Iterable, Iterator, Mapping, Protocol, Sequence
 from repro.alloc import make_allocator
 from repro.core.config import PAPER_CONFIG, SimConfig
 from repro.core.simulator import Simulator
+from repro.core.soa import run_point_batch
 from repro.experiments.figures import FIGURES
 from repro.experiments.store import ResultCache, global_cache
 from repro.sched import make_scheduler
@@ -344,6 +345,11 @@ class PointSpec:
         field.  Unlike a joined string, a field value containing a
         separator or drifting float repr cannot alias another point."""
         lo, hi = self.replication_bounds
+        cfg = dataclasses.asdict(self.run_config)
+        # the execution engine never affects results (bit-identical by
+        # construction, see repro.core.soa), so both engines must read
+        # and write the same cache cell
+        cfg.pop("engine", None)
         payload = {
             "workload": self.workload,
             "load": self.load,
@@ -353,7 +359,7 @@ class PointSpec:
             "trace_source": self.trace_source,
             "trace_max_jobs": self.scale.trace_max_jobs,
             "replications": [lo, hi],
-            "config": dataclasses.asdict(self.run_config),
+            "config": cfg,
         }
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
@@ -413,6 +419,28 @@ def run_spec_replication(
     return {m: result.metric(m) for m in METRICS}
 
 
+def run_spec_batch(
+    spec: PointSpec,
+    seeds: Sequence[int],
+    trace: Sequence[TraceJob] | None = None,
+) -> list[dict[str, float]]:
+    """Execute a whole replication batch of a point in lockstep.
+
+    The ``engine="soa"`` work unit: the batch advances through
+    :func:`repro.core.soa.run_point_batch` (compiled lanes when the
+    point's strategies are covered, interleaved reference runs
+    otherwise).  Results are in seed order and bit-identical to
+    ``[run_spec_replication(spec, s, trace) for s in seeds]``.
+    """
+    results = run_point_batch(
+        lambda seed, observers=(): build_simulator(
+            spec, seed, trace=trace, observers=observers
+        ),
+        seeds,
+    )
+    return [{m: r.metric(m) for m in METRICS} for r in results]
+
+
 #: task marker: fetch the external trace from the worker-process global
 #: (shipped once per worker by the pool initializer, not per task)
 _TRACE_FROM_INITIALIZER = "@initializer"
@@ -432,6 +460,19 @@ def _run_task(
     if isinstance(trace, str):  # _TRACE_FROM_INITIALIZER
         trace = _WORKER_TRACE
     return run_spec_replication(spec, seed, trace)
+
+
+#: inflight-map marker for a whole-batch (lockstep) task
+_BATCH = "__batch__"
+
+
+def _run_batch_task(
+    task: tuple[PointSpec, tuple[int, ...], Sequence[TraceJob] | str | None],
+) -> list[dict[str, float]]:
+    spec, seeds, trace = task
+    if isinstance(trace, str):  # _TRACE_FROM_INITIALIZER
+        trace = _WORKER_TRACE
+    return run_spec_batch(spec, seeds, trace)
 
 
 # ---------------------------------------------------------------- executors
@@ -637,13 +678,25 @@ class Campaign:
             seeds = controllers[spec].next_seeds()
             batch_seeds[spec] = seeds
             batch_got[spec] = {}
+            if spec.run_config.engine == "soa":
+                # one lockstep task per batch: the whole seed set
+                # advances together (repro.core.soa)
+                inflight[exe.submit(_run_batch_task, (spec, seeds, trace))] = (
+                    spec,
+                    _BATCH,
+                )
+                return
             for seed in seeds:
                 inflight[exe.submit(_run_task, (spec, seed, trace))] = (spec, seed)
 
         def process(fut: futures.Future) -> None:
             nonlocal done
             spec, seed = inflight.pop(fut)
-            batch_got[spec][seed] = fut.result()
+            if seed == _BATCH:
+                for s, metrics in zip(batch_seeds[spec], fut.result()):
+                    batch_got[spec][s] = metrics
+            else:
+                batch_got[spec][seed] = fut.result()
             if len(batch_got[spec]) < len(batch_seeds[spec]):
                 return
             ctrl = controllers[spec]

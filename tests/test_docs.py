@@ -16,6 +16,7 @@ sys.path.insert(0, str(REPO / "tools"))
 
 import check_docstrings  # noqa: E402
 import check_links  # noqa: E402
+import gen_cli_docs  # noqa: E402
 
 
 def test_docs_tree_exists():
@@ -45,6 +46,19 @@ def test_broken_link_is_detected(tmp_path):
     md.write_text("see [missing](nope.md) and [bad](x.md#no-such-heading)\n")
     errors = check_links.check_file(md, tmp_path)
     assert len(errors) == 2
+
+
+def test_cli_options_table_current(capsys):
+    """docs/cli.md's generated options table matches the live parser
+    (the local mirror of the CI ``gen_cli_docs.py --check`` gate)."""
+    assert gen_cli_docs.main(["--check"]) == 0, capsys.readouterr().err
+
+
+def test_cli_options_table_covers_every_flag():
+    table = gen_cli_docs.render_table()
+    for flag in ("--engine", "--scale", "--network-mode", "--topology",
+                 "--fail-on-regress", "--auto-saturation"):
+        assert f"`{flag}`" in table, f"{flag} missing from generated table"
 
 
 def test_public_api_docstrings_complete(capsys):

@@ -1,0 +1,236 @@
+"""SoA engine equivalence: lockstep batches == per-run reference, bit-for-bit.
+
+The contract under test (ISSUE 6): ``repro.core.soa.run_point_batch``
+-- through the compiled lane driver when available, and through the
+interleaved-reference fallback otherwise -- produces ``RunResult``
+metrics *exactly* equal to running each replication through
+``Simulator.run()``, across allocators x schedulers x workloads x seeds
+x topologies, including lockstep-specific shapes (uneven lane
+termination, trajectory observers, replication-controller batches).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import soa
+from repro.core import _soa_native as native
+from repro.core.config import PAPER_CONFIG, SimConfig
+from repro.core.hooks import TrajectoryObserver
+from repro.core.soa import run_point_batch
+from repro.experiments.campaign import (
+    Campaign,
+    PointSpec,
+    Scale,
+    build_simulator,
+    run_spec_batch,
+    run_spec_replication,
+)
+from repro.experiments.store import ResultCache
+from repro.stats.replication import ReplicationController
+
+SMOKE = Scale.by_name("smoke")
+#: small-mesh scale so the full strategy sweep stays fast
+TINY_SCALE = Scale("tiny", jobs=40, min_replications=1, max_replications=1,
+                   trace_max_jobs=200)
+TINY = SimConfig(width=8, length=8, jobs=40, seed=3)
+#: non-square, non-power-of-two mesh: multiple MBS cover roots and a
+#: width/length asymmetry that exercises GABL's rotation fallback
+ODD = SimConfig(width=6, length=10, jobs=40, seed=3)
+
+ALLOCS = ("GABL", "Paging(0)", "MBS")
+SCHEDS = ("FCFS", "SSD")
+
+
+def _spec(alloc="GABL", sched="FCFS", workload="uniform", load=0.7,
+          config=TINY, scale=TINY_SCALE, **cfg):
+    if cfg:
+        config = config.with_(**cfg)
+    return PointSpec(workload=workload, load=load, alloc=alloc, sched=sched,
+                     scale=scale, config=config)
+
+
+def _reference(spec, seeds):
+    return [build_simulator(spec, s).run() for s in seeds]
+
+
+def _batch(spec, seeds, observer_factory=None):
+    return run_point_batch(
+        lambda seed, observers=(): build_simulator(spec, seed,
+                                                   observers=observers),
+        seeds,
+        observer_factory=observer_factory,
+    )
+
+
+def assert_equal_results(ref, got):
+    assert len(ref) == len(got)
+    for r, g in zip(ref, got):
+        assert dataclasses.asdict(r) == dataclasses.asdict(g)
+
+
+class TestStrategySweep:
+    @pytest.mark.parametrize("alloc", ALLOCS)
+    @pytest.mark.parametrize("sched", SCHEDS)
+    @pytest.mark.parametrize("workload", ("uniform", "exponential"))
+    def test_alloc_sched_workload(self, alloc, sched, workload):
+        spec = _spec(alloc, sched, workload)
+        seeds = [1, 2, 3]
+        assert_equal_results(_reference(spec, seeds), _batch(spec, seeds))
+
+    @pytest.mark.parametrize("alloc", ALLOCS)
+    @pytest.mark.parametrize("topology", ("mesh", "torus"))
+    def test_topology_odd_mesh(self, alloc, topology):
+        spec = _spec(alloc, "SSD", config=ODD, topology=topology)
+        seeds = [5, 6]
+        assert_equal_results(_reference(spec, seeds), _batch(spec, seeds))
+
+    def test_paper_mesh_real_trace(self):
+        spec = _spec("MBS", "FCFS", workload="real", config=PAPER_CONFIG,
+                     scale=SMOKE)
+        seeds = [1]
+        assert_equal_results(_reference(spec, seeds), _batch(spec, seeds))
+
+    @pytest.mark.parametrize("kw", (
+        {"warmup_jobs": 10},
+        {"scheduler_window": 3},
+        {"max_time": 300.0},
+        {"round_gap_factor": 1.0},
+    ))
+    def test_config_variants(self, kw):
+        spec = _spec("GABL", "SSD", **kw)
+        seeds = [1, 2]
+        assert_equal_results(_reference(spec, seeds), _batch(spec, seeds))
+
+    def test_saturating_load(self):
+        spec = _spec("MBS", "FCFS", load=2.5)
+        seeds = [1, 2]
+        assert_equal_results(_reference(spec, seeds), _batch(spec, seeds))
+
+
+class TestLockstepShapes:
+    def test_uneven_lane_termination(self):
+        # a max_time horizon ends lanes at different event counts; each
+        # lane must stop exactly where its solo run does
+        spec = _spec("Paging(0)", "FCFS", max_time=250.0, jobs=10_000,
+                     scale=Scale("open", jobs=10_000, min_replications=1,
+                                 max_replications=1, trace_max_jobs=200))
+        seeds = [1, 2, 3, 4]
+        ref = _reference(spec, seeds)
+        assert len({r.sim_time for r in ref} | {r.completed_jobs for r in ref}) > 2
+        assert_equal_results(ref, _batch(spec, seeds))
+
+    def test_single_seed_batch(self):
+        spec = _spec()
+        assert_equal_results(_reference(spec, [9]), _batch(spec, [9]))
+
+    def test_empty_batch(self):
+        assert _batch(_spec(), []) == []
+
+    def test_trajectory_observers(self):
+        # extra observers force the interleaved-reference path; both the
+        # metrics and the recorded series must match solo runs exactly
+        spec = _spec("GABL", "FCFS")
+        seeds = [1, 2]
+        solo_obs = {}
+        ref = []
+        for s in seeds:
+            obs = TrajectoryObserver(50.0, spec.run_config.processors)
+            ref.append(build_simulator(spec, s, observers=(obs,)).run())
+            solo_obs[s] = obs
+        batch_obs = {}
+
+        def factory(seed):
+            obs = TrajectoryObserver(50.0, spec.run_config.processors)
+            batch_obs[seed] = obs
+            return (obs,)
+
+        got = _batch(spec, seeds, observer_factory=factory)
+        assert_equal_results(ref, got)
+        for s in seeds:
+            assert solo_obs[s].times == batch_obs[s].times
+            assert solo_obs[s].queue_length == batch_obs[s].queue_length
+            assert solo_obs[s].busy == batch_obs[s].busy
+            assert solo_obs[s].completed == batch_obs[s].completed
+
+    def test_unsupported_allocator_falls_back(self):
+        spec = _spec(alloc="FF")
+        seeds = [1, 2]
+        probe = build_simulator(spec, seeds[0])
+        assert not soa.native_supported(probe)
+        assert_equal_results(_reference(spec, seeds), _batch(spec, seeds))
+
+    def test_native_disabled_env(self, monkeypatch):
+        # REPRO_NATIVE=0 must force the fallback and change nothing
+        spec = _spec("MBS", "SSD")
+        seeds = [1, 2]
+        ref = _reference(spec, seeds)
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        native.reset_kernel_cache()
+        try:
+            assert native.load_kernel() is None
+            assert not soa.native_supported(build_simulator(spec, seeds[0]))
+            assert_equal_results(ref, _batch(spec, seeds))
+        finally:
+            monkeypatch.delenv("REPRO_NATIVE")
+            native.reset_kernel_cache()
+
+
+class TestCampaignIntegration:
+    def test_run_spec_batch_matches_per_seed(self):
+        spec = _spec("GABL", "SSD", workload="exponential")
+        seeds = (1, 2, 3)
+        assert run_spec_batch(spec, seeds) == [
+            run_spec_replication(spec, s) for s in seeds
+        ]
+
+    def test_engine_shares_cache_key(self):
+        a = _spec(config=TINY.with_(engine="reference"))
+        b = _spec(config=TINY.with_(engine="soa"))
+        assert a.key() == b.key()
+
+    def test_replication_controller_batches(self):
+        # batch_size>1 batches driven through the lockstep path must
+        # reproduce the sequential reference controller exactly: same
+        # replication count, same samples, same means
+        spec = _spec(
+            workload="exponential",
+            scale=Scale("reps", jobs=25, min_replications=3,
+                        max_replications=9, trace_max_jobs=200),
+        )
+        metrics = ("mean_turnaround", "utilization")
+
+        def controller(batch_size):
+            return ReplicationController(
+                metrics, min_replications=3, max_replications=9,
+                base_seed=spec.run_config.seed, batch_size=batch_size,
+                max_relative_error=1e-9,  # never converges early
+            )
+
+        seq = controller(1)
+        while seeds := seq.next_seeds():
+            seq.add_batch([run_spec_replication(spec, s) for s in seeds])
+        lock = controller(3)
+        while seeds := lock.next_seeds():
+            lock.add_batch(run_spec_batch(spec, seeds))
+        assert lock.completed == seq.completed == 9
+        a, b = seq.result(), lock.result()
+        assert a.replications == b.replications
+        for m in metrics:
+            assert a.metrics[m].mean == b.metrics[m].mean
+            assert a.metrics[m].values == b.metrics[m].values
+
+    def test_campaign_end_to_end_equal(self, tmp_path):
+        def run(engine):
+            camp = Campaign.sweep(
+                workloads=("uniform",), loads=(0.5, 1.5),
+                allocs=("GABL", "MBS"), scheds=("FCFS",),
+                scale=TINY_SCALE, config=TINY.with_(engine=engine),
+            )
+            cache = ResultCache(str(tmp_path / engine))
+            return {s.label(): dict(r)
+                    for s, r in camp.run(cache=cache).items()}
+
+        assert run("reference") == run("soa")

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Generate the ``docs/cli.md`` options table from the argparse parser.
+
+The table between the ``generated-cli-options`` markers is rendered
+straight from ``repro.cli._build_parser()``, so the documented flag
+set, choices, defaults and help strings cannot drift from the code
+(the ROADMAP "Docs versioning" item).  Run with no arguments to rewrite
+the file in place; ``--check`` exits 1 when the committed table is
+stale (the CI docs job runs this mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+MARK_BEGIN = "<!-- generated-cli-options:begin (tools/gen_cli_docs.py) -->"
+MARK_END = "<!-- generated-cli-options:end -->"
+DOC = REPO / "docs" / "cli.md"
+
+
+def _invocation(action: argparse.Action) -> str:
+    """The option cell: flags plus choices or a metavar placeholder."""
+    flags = ", ".join(f"`{o}`" for o in action.option_strings)
+    if action.nargs == 0:  # store_true / version: no argument
+        return flags
+    if action.choices is not None:
+        return f"{flags} `{{{','.join(str(c) for c in action.choices)}}}`"
+    metavar = action.metavar or action.dest.upper()
+    return f"{flags} `{metavar}`"
+
+
+def _default(action: argparse.Action) -> str:
+    """The default cell; em-dash when there is nothing meaningful."""
+    d = action.default
+    if d is None or d is False or d == argparse.SUPPRESS:
+        return "—"
+    return f"`{d}`"
+
+
+def _help(action: argparse.Action) -> str:
+    """The description cell: help text on one line, pipes escaped."""
+    text = " ".join((action.help or "").split())
+    return text.replace("|", "\\|")
+
+
+def render_table() -> str:
+    """The full options table for the current parser."""
+    from repro.cli import _build_parser
+
+    parser = _build_parser()
+    lines = [
+        "| option | default | description |",
+        "| --- | --- | --- |",
+    ]
+    for action in parser._actions:  # noqa: SLF001 - argparse has no public walk
+        if not action.option_strings or action.dest == "help":
+            continue
+        lines.append(
+            f"| {_invocation(action)} | {_default(action)} | {_help(action)} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def regenerate(text: str) -> str:
+    """``text`` with the marked region replaced by the current table."""
+    pattern = re.compile(
+        re.escape(MARK_BEGIN) + r"\n.*?" + re.escape(MARK_END), re.DOTALL
+    )
+    if not pattern.search(text):
+        raise SystemExit(
+            f"{DOC}: generated-cli-options markers not found; re-add\n"
+            f"{MARK_BEGIN}\n...\n{MARK_END}"
+        )
+    return pattern.sub(MARK_BEGIN + "\n" + render_table() + MARK_END, text)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Rewrite (or with ``--check`` verify) the generated table."""
+    check = "--check" in (argv if argv is not None else sys.argv[1:])
+    current = DOC.read_text()
+    fresh = regenerate(current)
+    if fresh == current:
+        print(f"{DOC.relative_to(REPO)}: options table up to date")
+        return 0
+    if check:
+        print(
+            f"{DOC.relative_to(REPO)}: options table is stale; "
+            f"run python tools/gen_cli_docs.py",
+            file=sys.stderr,
+        )
+        return 1
+    DOC.write_text(fresh)
+    print(f"{DOC.relative_to(REPO)}: options table regenerated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
