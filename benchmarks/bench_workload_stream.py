@@ -1,0 +1,108 @@
+"""Arrival generation: scalar iterator vs. columnar block stream.
+
+The ISSUE-7 target cell: at saturating loads the paper-scale MBS cell
+consumes ~85k arrivals per 1000 completions, and with the allocation /
+scheduling / network work compiled (PR 6) the per-job Python generator
+became the SoA engine's floor.  This bench drains that many arrivals
+from the saturating stochastic workloads three ways:
+
+* ``scalar``   -- ``wl.jobs(seed)``, the per-job generator;
+* ``cold``     -- ``wl.blocks(seed)`` with a cleared block cache (one
+  vectorised generation pass);
+* ``cached``   -- the cold pass plus the five cached replays a campaign
+  cell's remaining strategy combinations get for free, amortised over
+  all six consumers (``repro.workload.columnar.BlockCache``).
+
+Gates (both hold without a C compiler -- this is NumPy vs. Python):
+
+* exponential sides vectorise completely: **cold** >= 3x over scalar;
+* uniform sides need a scalar-order RNG draw loop (Lemire bounded
+  integers interleave with exponentials on one bit stream), so the win
+  there comes from replay: **cached** >= 3x over scalar.
+
+Results land in ``results/workload_stream.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import PAPER_CONFIG
+from repro.workload import StochasticWorkload, open_stream
+from repro.workload.columnar import GLOBAL_BLOCK_CACHE
+
+from _helpers import results_dir
+
+#: the tentpole's speedup floor, from ISSUE 7
+SPEEDUP_FLOOR = 3.0
+#: strategy combinations sharing one (workload, load, seed) cell in the
+#: figure campaign: 3 allocators x 2 schedulers
+COMBOS_PER_CELL = 6
+#: saturating offered load (the paper's utilization-figure regime)
+LOAD = 0.04
+
+ARRIVALS = {"smoke": 20_000, "quick": 40_000, "paper": 85_000}
+
+
+def _drain_scalar(wl, seed: int, n: int) -> float:
+    t0 = time.perf_counter()
+    it = wl.jobs(seed)
+    for _ in range(n):
+        next(it)
+    return time.perf_counter() - t0
+
+
+def _drain_blocks(wl, seed: int, n: int) -> float:
+    t0 = time.perf_counter()
+    cursor = open_stream(wl, seed)
+    got = 0
+    while got < n:
+        got += len(cursor.next_block())
+    return time.perf_counter() - t0
+
+
+def test_workload_stream_speedup(benchmark, scale):
+    n = ARRIVALS[scale]
+    lines = [f"arrival generation, scale={scale}, {n} arrivals, "
+             f"load={LOAD}, {COMBOS_PER_CELL} combos/cell"]
+    speedups = {}
+    for sides in ("exponential", "uniform"):
+        wl = StochasticWorkload(PAPER_CONFIG, LOAD, sides)
+        t_scalar = _drain_scalar(wl, 1, n)
+        GLOBAL_BLOCK_CACHE.clear()
+        t_cold = _drain_blocks(wl, 1, n)
+        t_replays = sum(
+            _drain_blocks(wl, 1, n) for _ in range(COMBOS_PER_CELL - 1)
+        )
+        t_cached = (t_cold + t_replays) / COMBOS_PER_CELL
+        speedups[sides] = (t_scalar / t_cold, t_scalar / t_cached)
+        lines += [
+            f"{sides:>13} scalar:   {t_scalar * 1e6 / n:8.3f} us/job",
+            f"{sides:>13} cold:     {t_cold * 1e6 / n:8.3f} us/job "
+            f"({speedups[sides][0]:.1f}x)",
+            f"{sides:>13} cached:   {t_cached * 1e6 / n:8.3f} us/job "
+            f"({speedups[sides][1]:.1f}x amortised)",
+        ]
+    report = "\n".join(lines) + "\n"
+    print("\n" + report)
+    (results_dir() / "workload_stream.txt").write_text(report)
+
+    cold_exp, _ = speedups["exponential"]
+    _, cached_uni = speedups["uniform"]
+    assert cold_exp >= SPEEDUP_FLOOR, (
+        f"exponential cold columnar speedup {cold_exp:.2f}x below the "
+        f"{SPEEDUP_FLOOR}x gate"
+    )
+    assert cached_uni >= SPEEDUP_FLOOR, (
+        f"uniform amortised columnar speedup {cached_uni:.2f}x below the "
+        f"{SPEEDUP_FLOOR}x gate"
+    )
+
+    # the recorded benchmark kernel: one cold columnar generation pass
+    wl = StochasticWorkload(PAPER_CONFIG, LOAD, "exponential")
+
+    def cold_pass():
+        GLOBAL_BLOCK_CACHE.clear()
+        return _drain_blocks(wl, 1, n)
+
+    benchmark.pedantic(cold_pass, rounds=3, iterations=1)

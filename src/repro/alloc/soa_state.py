@@ -4,34 +4,33 @@ A :class:`LaneState` owns every array one replication lane needs --
 job attributes, grid occupancy, channel free-at times, scheduler queues,
 the completion heap, allocator scratch and the MBS buddy arena -- as
 NumPy buffers whose raw pointers are handed to the compiled lane driver
-(:mod:`repro.core._soa_native`).  Python's only jobs are materialising
-arrivals from the (inherently sequential) workload generators into the
-arrays, chunk by chunk, and folding the final accumulator values into a
-:class:`~repro.core.metrics.RunResult` with the exact float operations
-of :meth:`repro.core.metrics.Metrics.result`.
+(:mod:`repro.core._soa_native`).  Python's only jobs are slicing arrival
+columns from the workload's block stream
+(:mod:`repro.workload.columnar`) into the arrays -- no ``Job`` objects
+are materialised on this path -- and folding the final accumulator
+values into a :class:`~repro.core.metrics.RunResult` with the exact
+float operations of :meth:`repro.core.metrics.Metrics.result`.
 """
 
 from __future__ import annotations
 
 import ctypes
-from typing import Iterator
 
 import numpy as np
 
 from repro.alloc.mbs import cover_with_squares
 from repro.core import _soa_native as native
 from repro.core.config import SimConfig
-from repro.core.job import Job
 from repro.core.metrics import RunResult
 from repro.workload.base import Workload
+from repro.workload.columnar import MAX_CHUNK, JobBlock, open_stream, refill_size
 
 #: allocator/scheduler strategies the compiled driver implements,
 #: keyed by their registry names
 ALLOC_KINDS = {"GABL": 0, "Paging(0)": 1, "MBS": 2}
 SCHED_KINDS = {"FCFS": 0, "SSD": 1}
 
-#: hard ceiling on arrivals materialised per refill
-MAX_CHUNK = 4096
+__all__ = ["ALLOC_KINDS", "SCHED_KINDS", "MAX_CHUNK", "LaneState"]
 
 
 class LaneState:
@@ -51,7 +50,9 @@ class LaneState:
         self.processors = config.processors
         cells = W * L
         self.cap = max(config.jobs + 64, 256)
-        self._iter: Iterator[Job] = workload.jobs(seed)
+        self._cursor = open_stream(workload, seed)
+        self._block: JobBlock | None = None
+        self._boff = 0
         self.n_provided = 0
         self.exhausted = False
 
@@ -196,33 +197,48 @@ class LaneState:
 
     # ------------------------------------------------------------- feeding
     def feed(self) -> None:
-        """Materialise the next chunk of arrivals into the job arrays.
+        """Copy the next chunk of arrival columns into the job arrays.
 
-        The first refill covers the whole completion target plus slack;
-        later refills scale with what the lane has already consumed, so
-        the overshoot past the arrivals actually needed stays bounded.
+        Refill sizing follows the one documented policy in
+        :func:`repro.workload.columnar.refill_size` (first fill =
+        completion target + slack, later fills grow with consumption,
+        both capped at ``MAX_CHUNK``).  Arrivals come as
+        :class:`~repro.workload.columnar.JobBlock` column slices and
+        land in the lane arrays as bulk slice assignments -- zero
+        ``Job`` objects on this path.  A block boundary rarely lines up
+        with a refill boundary, so a partially consumed block is kept
+        across calls (``_block`` / ``_boff``); exhaustion can land
+        mid-chunk and simply marks the lane finished with whatever was
+        copied.
         """
         if self.exhausted:
             return
-        if self.n_provided == 0:
-            count = min(self.config.jobs + 64, MAX_CHUNK)
-        else:
-            count = min(max(512, self.n_provided // 4), MAX_CHUNK)
-        it = self._iter
+        want = refill_size(self.n_provided, self.config.jobs)
         n = self.n_provided
-        for _ in range(count):
-            job = next(it, None)
-            if job is None:
-                self.exhausted = True
-                break
-            if n == self.cap:
+        while want > 0:
+            if self._block is None:
+                self._block = self._cursor.next_block()
+                self._boff = 0
+                if self._block is None:
+                    self.exhausted = True
+                    break
+            blk = self._block
+            take = min(want, len(blk) - self._boff)
+            a, b = self._boff, self._boff + take
+            end = n + take
+            while end > self.cap:
                 self._grow()
-            self.arr[n] = job.arrival_time
-            self.jw[n] = job.width
-            self.jl[n] = job.length
-            self.jmsg[n] = job.messages
-            self.jdem[n] = job.service_demand
-            n += 1
+            self.arr[n:end] = blk.arrival[a:b]
+            self.jw[n:end] = blk.width[a:b]
+            self.jl[n:end] = blk.length[a:b]
+            self.jmsg[n:end] = blk.messages[a:b]
+            self.jdem[n:end] = blk.demand[a:b]
+            n = end
+            want -= take
+            if b == len(blk):
+                self._block = None
+            else:
+                self._boff = b
         self.n_provided = n
         self.CI[native.CI_NPROV] = n
         self.CI[native.CI_EXH] = int(self.exhausted)

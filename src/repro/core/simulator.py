@@ -40,6 +40,7 @@ from repro.network.topology import MeshTopology
 from repro.network.traffic import AllToAllTraffic
 from repro.sched.policies import Scheduler
 from repro.workload.base import Workload
+from repro.workload.columnar import job_stream
 
 
 class Simulator:
@@ -104,8 +105,15 @@ class Simulator:
     # (repro.core.soa advances a replication batch in lockstep rounds).
     # ``start(); advance(); finalize()`` is exactly ``run()``.
     def start(self) -> None:
-        """Prime the run: open the job stream, schedule the first arrival."""
-        self._jobs = self.workload.jobs(self.seed)
+        """Prime the run: open the job stream, schedule the first arrival.
+
+        The stream comes through the block-buffered adapter
+        (:func:`repro.workload.columnar.job_stream`): workloads with a
+        native columnar form materialise jobs from (process-cached)
+        column blocks, others keep the plain sequential iterator.
+        Either way the jobs are identical to ``workload.jobs(seed)``.
+        """
+        self._jobs = job_stream(self.workload, self.seed)
         self._schedule_next_arrival()
 
     def advance(self, max_events: int | None = None) -> bool:

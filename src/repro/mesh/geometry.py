@@ -127,7 +127,8 @@ def clip_side(value: float, limit: int) -> int:
     Stochastic workloads draw side lengths from continuous distributions;
     the paper clips them to the mesh dimensions.
     """
-    return max(1, min(limit, int(round(value))))
+    # round() already returns an int; no cast needed
+    return max(1, min(limit, round(value)))
 
 
 def shape_for_size(size: int, width_cap: int, length_cap: int) -> tuple[int, int]:

@@ -18,6 +18,17 @@ grid and non-decreasing arrival order.
 """
 
 from repro.workload.base import Workload, quantize_time
+from repro.workload.columnar import (
+    DEFAULT_BLOCK,
+    MAX_CHUNK,
+    BlockCache,
+    JobBlock,
+    blocks_from_jobs,
+    job_stream,
+    jobs_from_blocks,
+    open_stream,
+    refill_size,
+)
 from repro.workload.stochastic import StochasticWorkload
 from repro.workload.trace import TraceJob, TraceStats, TraceWorkload, trace_stats
 from repro.workload.transforms import (
@@ -44,6 +55,15 @@ from repro.workload.swf import load_swf, parse_swf_line
 __all__ = [
     "Workload",
     "quantize_time",
+    "DEFAULT_BLOCK",
+    "MAX_CHUNK",
+    "BlockCache",
+    "JobBlock",
+    "blocks_from_jobs",
+    "job_stream",
+    "jobs_from_blocks",
+    "open_stream",
+    "refill_size",
     "StochasticWorkload",
     "TraceJob",
     "TraceStats",

@@ -18,6 +18,7 @@ from typing import Iterator
 
 from repro.core.config import TIME_GRID, SimConfig
 from repro.core.job import Job
+from repro.workload.columnar import DEFAULT_BLOCK, JobBlock, blocks_from_jobs
 
 
 def quantize_time(t: float) -> float:
@@ -42,6 +43,32 @@ class Workload(abc.ABC):
     @abc.abstractmethod
     def jobs(self, seed: int) -> Iterator[Job]:
         """Yield the job stream for one replication."""
+
+    def blocks(self, seed: int, count: int = DEFAULT_BLOCK) -> Iterator[JobBlock]:
+        """Yield the same stream as struct-of-arrays blocks.
+
+        The default wraps :meth:`jobs` through
+        :func:`~repro.workload.columnar.blocks_from_jobs`, so every
+        workload satisfies the columnar protocol; native overrides
+        (stochastic, trace, the vectorised transforms) generate columns
+        directly and are bit-identical to the scalar iterator.
+        ``count`` is a block-size hint, not a contract -- producers may
+        emit shorter blocks.
+        """
+        return blocks_from_jobs(self.jobs(seed), count)
+
+    def block_fingerprint(self) -> tuple | None:
+        """A stable identity for this workload's block stream, or ``None``.
+
+        Workloads with a native columnar form return a hashable tuple
+        that, together with a seed, uniquely determines the stream;
+        the process-wide :class:`~repro.workload.columnar.BlockCache`
+        keys on it.  ``None`` (the default) means "no stable identity":
+        the stream still works through the fallback ``blocks`` wrapper
+        but is never cached and the reference engine keeps the plain
+        scalar iterator.
+        """
+        return None
 
     @staticmethod
     def _check_monotone(prev: float, arrival: float) -> float:

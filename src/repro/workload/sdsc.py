@@ -65,7 +65,8 @@ def _draw_size(rng: np.random.Generator, max_size: int) -> int:
         size = int(rng.integers(lo, hi + 1))
     else:
         mu, sigma = params
-        size = int(round(rng.lognormal(mu, sigma)))
+        # round() already returns an int; no cast needed
+        size = round(rng.lognormal(mu, sigma))
     size = max(1, min(max_size, size))
     # favour non-powers-of-two: production codes on the Paragon mostly
     # requested arbitrary node counts

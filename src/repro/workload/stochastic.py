@@ -16,10 +16,11 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.core.config import SimConfig
+from repro.core.config import TIME_GRID, SimConfig
 from repro.core.job import Job
 from repro.mesh.geometry import clip_side
 from repro.workload.base import Workload, quantize_time
+from repro.workload.columnar import DEFAULT_BLOCK, JobBlock
 
 SIDE_DISTRIBUTIONS = ("uniform", "exponential")
 
@@ -57,7 +58,8 @@ class StochasticWorkload(Workload):
             else:
                 w = clip_side(rng.exponential(cfg.width / 2.0), cfg.width)
                 l = clip_side(rng.exponential(cfg.length / 2.0), cfg.length)
-            k = max(1, int(round(rng.exponential(cfg.num_mes))))
+            # round() already returns an int; no cast needed
+            k = max(1, round(rng.exponential(cfg.num_mes)))
             k = min(k, cfg.max_messages)
             yield Job(
                 job_id=job_id,
@@ -65,4 +67,77 @@ class StochasticWorkload(Workload):
                 width=w,
                 length=l,
                 messages=k,
+            )
+
+    def block_fingerprint(self) -> tuple:
+        """Stream identity: distribution shape + every draw parameter."""
+        cfg = self.config
+        return (
+            "stochastic", self.sides, self.load, cfg.width, cfg.length,
+            cfg.num_mes, cfg.max_messages,
+        )
+
+    def blocks(self, seed: int, count: int = DEFAULT_BLOCK) -> Iterator[JobBlock]:
+        """Columnar generator, bit-identical to :meth:`jobs`.
+
+        The scalar loop draws, per job, interarrival / width / length /
+        message-count in that order from one ``default_rng(seed)``
+        stream.  For exponential sides all four are exponential draws,
+        and a vectorised ``standard_exponential(4 * count)`` consumes
+        the underlying bit stream element-by-element in exactly that
+        interleaved order -- reshaping to ``(count, 4)`` recovers the
+        per-job columns, and applying each scale afterwards performs the
+        same ``scale * x`` multiplication ``Generator.exponential``
+        does.  Uniform sides mix exponential and Lemire bounded-integer
+        draws, whose bit-stream consumption cannot be replayed
+        column-wise, so that branch keeps a scalar draw loop (in exact
+        draw order) and vectorises only the post-processing.  Arrival
+        accumulation and grid-snapping are shared: a ``cumsum`` seeded
+        with the running time reproduces the scalar left-to-right
+        float additions, and ``floor(t * G) / G`` is
+        :func:`~repro.workload.base.quantize_time` elementwise.
+        """
+        rng = np.random.default_rng(seed)
+        cfg = self.config
+        mean_interarrival = 1.0 / self.load
+        uniform = self.sides == "uniform"
+        w_scale, l_scale = cfg.width / 2.0, cfg.length / 2.0
+        t = 0.0
+        next_id = 1
+        while True:
+            if uniform:
+                gaps = np.empty(count, dtype=np.float64)
+                w = np.empty(count, dtype=np.int64)
+                l = np.empty(count, dtype=np.int64)
+                k_raw = np.empty(count, dtype=np.float64)
+                draw_exp, draw_int = rng.exponential, rng.integers
+                w_hi, l_hi = cfg.width + 1, cfg.length + 1
+                for i in range(count):
+                    gaps[i] = draw_exp(mean_interarrival)
+                    w[i] = draw_int(1, w_hi)
+                    l[i] = draw_int(1, l_hi)
+                    k_raw[i] = draw_exp(cfg.num_mes)
+            else:
+                raw = rng.standard_exponential(4 * count).reshape(count, 4)
+                gaps = raw[:, 0] * mean_interarrival
+                # clip_side, vectorised: max(1, min(limit, round(x)))
+                w = np.maximum(
+                    1.0, np.minimum(cfg.width, np.rint(raw[:, 1] * w_scale))
+                ).astype(np.int64)
+                l = np.maximum(
+                    1.0, np.minimum(cfg.length, np.rint(raw[:, 2] * l_scale))
+                ).astype(np.int64)
+                k_raw = raw[:, 3] * cfg.num_mes
+            k = np.minimum(
+                np.maximum(1.0, np.rint(k_raw)), cfg.max_messages
+            ).astype(np.int64)
+            # left-associated running sum, exactly as the scalar loop
+            cum = np.cumsum(np.concatenate(([t], gaps)))
+            t = float(cum[-1])
+            arrival = np.floor(cum[1:] * TIME_GRID) / TIME_GRID
+            ids = np.arange(next_id, next_id + count, dtype=np.int64)
+            next_id += count
+            yield JobBlock(
+                job_id=ids, arrival=arrival, width=w, length=l,
+                messages=k, demand=k.astype(np.float64),
             )

@@ -27,15 +27,21 @@ time.  Replay follows the paper's methodology:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.core.config import SimConfig
+from repro.core.config import TIME_GRID, SimConfig
 from repro.core.job import Job
 from repro.mesh.geometry import shape_for_size
 from repro.workload.base import Workload, quantize_time
+from repro.workload.columnar import DEFAULT_BLOCK, JobBlock
+
+#: parse-once-per-process memo of derived trace columns, keyed by the
+#: workload's block fingerprint (trace digest + every shaping parameter)
+_COLUMN_MEMO: dict[tuple, JobBlock] = {}
 
 
 @dataclass(frozen=True, slots=True)
@@ -118,21 +124,26 @@ class TraceWorkload(Workload):
         #: mean per-processor message count (DESIGN.md section 2.3)
         self.mean_messages = config.num_mes * config.trace_demand_multiplier
         self.name = "real-trace"
+        self._arrivals = np.array([tj.arrival for tj in self.trace])
+        self._sizes = np.array([tj.size for tj in self.trace], dtype=np.int64)
+        self._runtimes = np.array([tj.runtime for tj in self.trace])
         self._messages = self._quantile_matched_demands()
+        self._digest: str | None = None
 
     def _quantile_matched_demands(self) -> list[int]:
         """Per-job message counts: exponential marginal with the paper's
         mean, rank-correlated with the recorded runtimes."""
         cfg = self.config
-        runtimes = np.array([tj.runtime for tj in self.trace])
+        runtimes = self._runtimes
         # average ranks for ties, scaled into (0, 1)
         order = np.argsort(runtimes, kind="stable")
         ranks = np.empty(len(runtimes), dtype=np.float64)
         ranks[order] = np.arange(1, len(runtimes) + 1)
         quantiles = ranks / (len(runtimes) + 1)
         demands = -self.mean_messages * np.log1p(-quantiles)
+        # round() already returns an int; no cast needed
         return [
-            min(max(1, int(round(k))), cfg.max_messages) for k in demands
+            min(max(1, round(k)), cfg.max_messages) for k in demands
         ]
 
     def jobs(self, seed: int) -> Iterator[Job]:
@@ -156,3 +167,67 @@ class TraceWorkload(Workload):
                 service_demand=tj.runtime,
                 trace_runtime=tj.runtime,
             )
+
+    def block_fingerprint(self) -> tuple:
+        """Stream identity: trace content digest + every shaping knob."""
+        if self._digest is None:
+            h = hashlib.sha256()
+            h.update(self._arrivals.tobytes())
+            h.update(self._sizes.tobytes())
+            h.update(self._runtimes.tobytes())
+            self._digest = h.hexdigest()[:24]
+        cfg = self.config
+        return (
+            "trace", self._digest, len(self.trace), self.factor,
+            cfg.width, cfg.length, cfg.processors,
+            self.mean_messages, cfg.max_messages,
+        )
+
+    def _columns(self) -> JobBlock:
+        """The whole replay as one memoised column block.
+
+        Derivation (quantised scaled arrivals, Mache--Lo--Windisch
+        shaping via per-unique-size lookup, quantile-matched demands)
+        runs once per process for a given fingerprint; later workload
+        instances over the same trace and parameters reuse the arrays.
+        """
+        key = self.block_fingerprint()
+        block = _COLUMN_MEMO.get(key)
+        if block is not None:
+            return block
+        cfg = self.config
+        scaled = (self._arrivals - self._arrivals[0]) * self.factor
+        arrival = np.floor(scaled * TIME_GRID) / TIME_GRID
+        bad = np.nonzero(np.diff(arrival) < 0)[0]
+        if bad.size:
+            i = int(bad[0])
+            raise AssertionError(
+                f"workload produced decreasing arrival times "
+                f"({arrival[i + 1]} < {arrival[i]})"
+            )
+        sizes = np.minimum(self._sizes, cfg.processors)
+        uniq = np.unique(sizes)
+        shapes = [shape_for_size(int(s), cfg.width, cfg.length) for s in uniq]
+        idx = np.searchsorted(uniq, sizes)
+        width = np.array([s[0] for s in shapes], dtype=np.int64)[idx]
+        length = np.array([s[1] for s in shapes], dtype=np.int64)[idx]
+        block = JobBlock(
+            job_id=np.arange(1, len(self.trace) + 1, dtype=np.int64),
+            arrival=arrival,
+            width=width,
+            length=length,
+            messages=np.array(self._messages, dtype=np.int64),
+            demand=self._runtimes.copy(),
+            runtime=self._runtimes.copy(),
+        )
+        for col in (block.job_id, block.arrival, block.width, block.length,
+                    block.messages, block.demand, block.runtime):
+            col.flags.writeable = False
+        _COLUMN_MEMO[key] = block
+        return block
+
+    def blocks(self, seed: int, count: int = DEFAULT_BLOCK) -> Iterator[JobBlock]:
+        """Zero-copy views over the memoised columns (seed ignored)."""
+        block = self._columns()
+        for start in range(0, len(block), count):
+            yield block.view(start, start + count)

@@ -48,8 +48,10 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro.core.config import TIME_GRID
 from repro.core.job import Job
 from repro.workload.base import Workload, quantize_time
+from repro.workload.columnar import DEFAULT_BLOCK, JobBlock, open_stream
 
 #: base workload names a pipeline source may name (resolution to concrete
 #: Workload objects is the caller's job, see ``build_pipeline``)
@@ -59,6 +61,33 @@ SOURCES = ("real", "uniform", "exponential")
 def _op_code(op: str) -> int:
     """Stable (process-independent) integer tag for an op name."""
     return zlib.crc32(op.encode("utf-8"))
+
+
+def _quantize_array(t: np.ndarray) -> np.ndarray:
+    """:func:`~repro.workload.base.quantize_time`, elementwise.
+
+    ``floor(t * G) / G`` performs the identical two float operations,
+    so the result is bit-equal to the scalar helper for every element.
+    """
+    return np.floor(t * TIME_GRID) / TIME_GRID
+
+
+def _monotone_block(prev: float, arrival: np.ndarray) -> float:
+    """Vector form of ``Workload._check_monotone`` over one column.
+
+    Returns the new running maximum (the column's last value); raises
+    the same ``AssertionError`` naming the first offending pair.
+    """
+    if len(arrival) == 0:
+        return prev
+    if arrival[0] < prev or np.any(np.diff(arrival) < 0):
+        full = np.concatenate(([prev], arrival))
+        i = int(np.nonzero(np.diff(full) < 0)[0][0])
+        raise AssertionError(
+            f"workload produced decreasing arrival times "
+            f"({full[i + 1]} < {full[i]})"
+        )
+    return float(arrival[-1])
 
 
 class WorkloadTransform(Workload):
@@ -94,6 +123,18 @@ class WorkloadTransform(Workload):
         return np.random.default_rng(
             np.random.SeedSequence([abs(int(seed)), self.salt, _op_code(self.op)])
         )
+
+    def _chain_fingerprint(self, *args) -> tuple | None:
+        """Fingerprint helper for transforms *with* a vector form:
+        ``(op, args..., salt, inner fingerprint)``, or ``None`` when the
+        inner stream has no stable identity (which poisons the whole
+        chain -- an uncacheable source makes the pipeline uncacheable).
+        Transforms without a vector ``blocks`` override keep the base
+        ``None`` fingerprint, so the fallback path is never cached."""
+        inner = self.inner.block_fingerprint()
+        if inner is None:
+            return None
+        return (self.op, *args, self.salt, inner)
 
 
 class LoadScale(WorkloadTransform):
@@ -132,6 +173,18 @@ class LoadScale(WorkloadTransform):
             prev = self._check_monotone(prev, t)
             yield replace(job, arrival_time=t)
 
+    def block_fingerprint(self) -> tuple | None:
+        """``("scale", factor, salt, inner)`` when the inner is stable."""
+        return self._chain_fingerprint(self.factor)
+
+    def blocks(self, seed: int, count: int = DEFAULT_BLOCK) -> Iterator[JobBlock]:
+        """Vector form: scale + re-quantize whole arrival columns."""
+        prev = 0.0
+        for block in self.inner.blocks(seed, count):
+            t = _quantize_array(block.arrival * self.factor)
+            prev = _monotone_block(prev, t)
+            yield replace(block, arrival=t)
+
 
 class Thin(WorkloadTransform):
     """Keep each job independently with probability ``p``.
@@ -168,6 +221,22 @@ class Thin(WorkloadTransform):
             if rng.random() < self.p:
                 yield job
 
+    def block_fingerprint(self) -> tuple | None:
+        """``("thin", p, salt, inner)`` when the inner is stable."""
+        return self._chain_fingerprint(self.p)
+
+    def blocks(self, seed: int, count: int = DEFAULT_BLOCK) -> Iterator[JobBlock]:
+        """Vector form: one ``random(n)`` batch per block.
+
+        A vectorised ``random(n)`` consumes the bit stream exactly like
+        ``n`` scalar ``random()`` calls, so the kept subset is identical
+        regardless of how the inner stream is partitioned into blocks.
+        Blocks may come out shorter (or empty) than ``count``.
+        """
+        rng = self._rng(seed)
+        for block in self.inner.blocks(seed, count):
+            yield block.take(rng.random(len(block)) < self.p)
+
 
 class Jitter(WorkloadTransform):
     """Perturb each arrival with ``N(0, sigma)`` noise, clamped so the
@@ -203,6 +272,30 @@ class Jitter(WorkloadTransform):
             prev = t
             yield replace(job, arrival_time=t)
 
+    def block_fingerprint(self) -> tuple | None:
+        """``("jitter", sigma, salt, inner)`` when the inner is stable."""
+        return self._chain_fingerprint(self.sigma)
+
+    def blocks(self, seed: int, count: int = DEFAULT_BLOCK) -> Iterator[JobBlock]:
+        """Vector form: batched noise + a running-maximum clamp.
+
+        ``quantize(max(t, prev, 0))`` with an on-grid, non-negative
+        ``prev`` equals ``max(quantize(max(t, 0)), prev)``: when the
+        noisy time falls below ``prev``, flooring ``prev`` returns
+        ``prev`` itself, and otherwise ``prev`` does not bind.  That
+        re-association turns the scalar recurrence into a quantize of
+        the clamped column followed by ``np.maximum.accumulate``.
+        """
+        rng = self._rng(seed)
+        prev = 0.0
+        for block in self.inner.blocks(seed, count):
+            noise = rng.normal(0.0, self.sigma, len(block))
+            q = _quantize_array(np.maximum(block.arrival + noise, 0.0))
+            t = np.maximum.accumulate(np.concatenate(([prev], q)))[1:]
+            if len(t):
+                prev = float(t[-1])
+            yield replace(block, arrival=t)
+
 
 class Burstify(WorkloadTransform):
     """Round every arrival *up* to the next multiple of ``interval``:
@@ -235,6 +328,25 @@ class Burstify(WorkloadTransform):
                               * self.interval)
             prev = self._check_monotone(prev, t)
             yield replace(job, arrival_time=t)
+
+    def block_fingerprint(self) -> tuple | None:
+        """``("burst", interval, salt, inner)`` when the inner is stable."""
+        return self._chain_fingerprint(self.interval)
+
+    def blocks(self, seed: int, count: int = DEFAULT_BLOCK) -> Iterator[JobBlock]:
+        """Vector form: ceil to the burst grid, column at a time.
+
+        ``np.ceil`` yields the same exact integer value ``math.ceil``
+        does (as a float64), and multiplying by ``interval`` performs
+        the identical promotion-to-float product.
+        """
+        prev = 0.0
+        for block in self.inner.blocks(seed, count):
+            t = _quantize_array(
+                np.ceil(block.arrival / self.interval) * self.interval
+            )
+            prev = _monotone_block(prev, t)
+            yield replace(block, arrival=t)
 
 
 class ShapeClamp(WorkloadTransform):
@@ -274,6 +386,21 @@ class ShapeClamp(WorkloadTransform):
                 yield job
             else:
                 yield replace(job, width=w, length=l)
+
+    def block_fingerprint(self) -> tuple | None:
+        """``("clamp", w, l, salt, inner)`` when the inner is stable."""
+        return self._chain_fingerprint(self.max_width, self.max_length)
+
+    def blocks(self, seed: int, count: int = DEFAULT_BLOCK) -> Iterator[JobBlock]:
+        """Vector form: elementwise minimum on the side columns."""
+        w_cap = min(self.max_width, self.config.width)
+        l_cap = min(self.max_length, self.config.length)
+        for block in self.inner.blocks(seed, count):
+            yield replace(
+                block,
+                width=np.minimum(block.width, w_cap),
+                length=np.minimum(block.length, l_cap),
+            )
 
 
 class Merge(Workload):
@@ -317,6 +444,89 @@ class Merge(Workload):
         for new_id, job in enumerate(merged, start=1):
             prev = self._check_monotone(prev, job.arrival_time)
             yield replace(job, job_id=new_id)
+
+    def block_fingerprint(self) -> tuple | None:
+        """``("merge", inner fingerprints...)`` when every inner is stable."""
+        fps = [wl.block_fingerprint() for wl in self.inners]
+        if any(fp is None for fp in fps):
+            return None
+        return ("merge", *fps)
+
+    def blocks(self, seed: int, count: int = DEFAULT_BLOCK) -> Iterator[JobBlock]:
+        """Streaming block merge, identical to the scalar ``heapq.merge``.
+
+        Each round picks a horizon ``T`` -- the smallest last-buffered
+        arrival over the streams that may still produce jobs -- extends
+        those streams strictly past ``T``, then emits every buffered job
+        with ``arrival <= T``.  Emission concatenates the per-stream
+        prefixes in stream-index order and applies one *stable* argsort
+        on arrival: ties keep concatenation order, which is exactly
+        ``heapq.merge``'s earlier-stream-wins tie break.  Ids are
+        renumbered in emission order, as in the scalar path.  Inner
+        streams are read through
+        :func:`~repro.workload.columnar.open_stream`, so cacheable
+        sources are generated once per process even under a merge.
+        """
+        cursors = [
+            open_stream(wl, self.stream_seed(seed, i), count)
+            for i, wl in enumerate(self.inners)
+        ]
+        pending: list[list[JobBlock]] = [[] for _ in cursors]
+        done = [False] * len(cursors)
+        prev = 0.0
+        next_id = 1
+
+        def pull(s: int) -> None:
+            blk = cursors[s].next_block()
+            if blk is None:
+                done[s] = True
+            else:
+                pending[s].append(blk)
+
+        while True:
+            for s in range(len(cursors)):
+                if not pending[s] and not done[s]:
+                    pull(s)
+            if not any(pending):
+                break
+            undone = [s for s in range(len(cursors)) if not done[s]]
+            if undone:
+                horizon = min(
+                    float(pending[s][-1].arrival[-1]) for s in undone
+                )
+                for s in undone:
+                    while (not done[s]
+                           and float(pending[s][-1].arrival[-1]) <= horizon):
+                        pull(s)
+            else:
+                horizon = math.inf
+            parts: list[JobBlock] = []
+            for s in range(len(cursors)):
+                while pending[s]:
+                    blk = pending[s][0]
+                    if horizon == math.inf:
+                        cut = len(blk)
+                    else:
+                        cut = int(np.searchsorted(
+                            blk.arrival, horizon, side="right"
+                        ))
+                    if cut == len(blk):
+                        parts.append(blk)
+                        pending[s].pop(0)
+                    else:
+                        if cut:
+                            parts.append(blk.view(0, cut))
+                            pending[s][0] = blk.view(cut, len(blk))
+                        break
+            merged = JobBlock.concat(parts)
+            order = np.argsort(merged.arrival, kind="stable")
+            merged = merged.take(order)
+            prev = _monotone_block(prev, merged.arrival)
+            for start in range(0, len(merged), count):
+                yield merged.view(start, start + count).renumber(
+                    next_id + start
+                )
+            next_id += len(merged)
 
 
 #: transform registry: op name -> (class, positional arg parsers)
