@@ -123,7 +123,18 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="worker processes for simulation points (default: 1, serial)",
+        help="parallel workers for simulation points (default: 1, serial)",
+    )
+    p.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="parallel backend for -j N: thread (in-process workers; the "
+        "compiled SoA driver releases the GIL so lanes run concurrently "
+        "and share caches), process (worker processes) or serial. "
+        "Default: auto -- thread when the native driver carries every "
+        "point (--engine soa), process otherwise. Results are identical "
+        "across backends",
     )
     p.add_argument("--plot", action="store_true", help="add ASCII plots")
     p.add_argument(
@@ -309,7 +320,7 @@ def _run_scenarios(files: Sequence[str], args, trace) -> int:
         t0 = time.perf_counter()
         result = scenario.run(
             jobs=args.jobs, trace=trace, progress=_progress,
-            auto_saturation=args.auto_saturation,
+            auto_saturation=args.auto_saturation, executor=args.executor,
         )
         dt = time.perf_counter() - t0
         print(result.format())
@@ -460,7 +471,9 @@ def _run_sweep(args, scale, config, trace) -> int:
     print(f"sweep: {len(campaign.points)} unique points, "
           f"scale={scale}, jobs={args.jobs}")
     t0 = time.perf_counter()
-    results = campaign.run(jobs=args.jobs, progress=_progress)
+    results = campaign.run(
+        jobs=args.jobs, progress=_progress, executor_kind=args.executor
+    )
     dt = time.perf_counter() - t0
     for spec in campaign.points:
         print(f"{spec.label()}: {summarize_point(results[spec])}")
@@ -570,7 +583,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"campaign: {len(campaign.points)} unique points for "
             f"{len(fig_targets)} figure(s), scale={scale}, jobs={args.jobs}"
         )
-        campaign.run(jobs=args.jobs, progress=_progress)
+        campaign.run(
+            jobs=args.jobs, progress=_progress, executor_kind=args.executor
+        )
 
     for target in targets:
         if target == "claims":
@@ -596,7 +611,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 point = run_point(
                     args.workload, args.load, args.alloc, args.sched,
                     scale=scale, config=config,
-                    network_mode=args.network_mode, trace=trace, jobs=args.jobs,
+                    network_mode=args.network_mode, trace=trace,
+                    jobs=args.jobs, executor=args.executor,
                 )
             except (SpecError, KeyError) as exc:
                 print(f"bad point parameters: {exc}", file=sys.stderr)

@@ -21,6 +21,19 @@ Like the network kernel, this module is strictly optional:
 :mod:`repro.core.soa` falls back to lockstepped reference simulators
 (same results) when compilation is impossible.  Set ``REPRO_NATIVE=0``
 to disable compilation and dispatch entirely.
+
+**GIL-release contract.**  ``soa_advance`` is loaded through
+:class:`ctypes.CDLL`, so the GIL is dropped for the entire duration of
+every call -- the whole event loop between two refills runs without the
+interpreter.  The pointer-table ABI confines every mutable word the
+driver touches to the per-lane flat arrays named in the ``P_*`` table
+below (plus the lane's ``CI``/``CF`` blocks); the C code reads and
+writes nothing else.  Lanes from *different* batches therefore advance
+concurrently from a thread pool with no shared state at all, which is
+what makes the campaign's ``--executor thread`` mode scale
+(:mod:`repro.experiments.campaign`).  The only cross-thread step, the
+lazy first-use compile, serialises on
+:data:`repro.network._native.KERNEL_LOCK` so N threads build once.
 """
 
 from __future__ import annotations
@@ -32,7 +45,7 @@ import subprocess
 import tempfile
 
 from repro.network._native import _SOURCE as _NETWORK_SOURCE
-from repro.network._native import _cache_dir, _compiler
+from repro.network._native import KERNEL_LOCK, _cache_dir, _compiler
 
 #: pointer-table slots of ``soa_advance``'s first argument; must match
 #: the ``P_*`` enum in the C source below, slot for slot.
@@ -1093,13 +1106,20 @@ def _build() -> ctypes.CDLL | None:
 
 
 def load_kernel() -> ctypes.CDLL | None:
-    """The compiled lane driver, or ``None`` when unavailable (memoised)."""
+    """The compiled lane driver, or ``None`` when unavailable (memoised).
+
+    Thread-safe: concurrent first calls serialise on the shared
+    :data:`~repro.network._native.KERNEL_LOCK` (double-checked), so the
+    compile runs once and every caller gets the same handle.
+    """
     global _kernel
     if _kernel is _UNSET:
-        if os.environ.get("REPRO_NATIVE", "1") == "0":
-            _kernel = None
-        else:
-            _kernel = _build()
+        with KERNEL_LOCK:
+            if _kernel is _UNSET:
+                if os.environ.get("REPRO_NATIVE", "1") == "0":
+                    _kernel = None
+                else:
+                    _kernel = _build()
     return _kernel
 
 

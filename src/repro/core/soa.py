@@ -14,6 +14,14 @@ reference implementation.
 
 Both paths, and the per-run reference engine, are bit-identical on the
 dyadic time grid; ``tests/test_engine_equivalence.py`` enforces it.
+
+Thread parallelism: each ``soa_advance`` call releases the GIL (ctypes
+foreign call) and touches only its own batch's flat arrays -- the
+driver's GIL-release contract (:mod:`repro.core._soa_native`).  The
+campaign's thread executor exploits this: batches of *different* points
+run :func:`run_point_batch` concurrently from one process, sharing the
+block cache and trace memos; a batch's own lanes still advance
+sequentially within its round loop.
 """
 
 from __future__ import annotations

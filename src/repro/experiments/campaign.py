@@ -13,18 +13,37 @@ of every other.  This module turns that grid into an explicit *campaign*:
   between figures (the uniform sweep feeds Figs. 3, 6, 9, 12 and 15 but
   is simulated once), and executes replications through a pluggable
   executor;
-* :class:`SerialExecutor` / :class:`ProcessPoolExecutor` -- in-process
-  and multi-process execution backends.  Replication seeds are a pure
-  function of the spec (``config.seed + replication_index``), never of
-  worker state, so serial and parallel runs of the same campaign produce
-  **identical** metrics.
+* :class:`SerialExecutor` / :class:`ThreadPoolExecutor` /
+  :class:`ProcessPoolExecutor` -- in-process serial, in-process
+  thread-parallel and multi-process execution backends.  Replication
+  seeds are a pure function of the spec
+  (``config.seed + replication_index``), never of worker state or
+  dispatch order, so serial, thread and process runs of the same
+  campaign produce **identical** metrics.
 
 The replication loop is *batched* (see
 :class:`repro.stats.ReplicationController`): each uncached point first
 submits its ``min_replications`` seeds, the CI stopping rule is checked
 on the collected batch, and unconverged points submit further seeds
-round by round.  All points' outstanding seeds of a round are flattened
-into one task list, so a process pool interleaves work across points.
+round by round.
+
+Work is dispatched from a single queue in **longest-estimated-first**
+order (:class:`_CostModel`): a point's cost is estimated up front from
+``load x replication bounds x stream length`` and refined online from
+observed batch runtimes, so the heaviest cells start earliest and a
+straggler cannot serialise the tail of the campaign.
+
+The **thread** executor is the fast path when points run on the
+compiled SoA lane driver: ctypes calls release the GIL for the whole
+lane-driver event loop (see :mod:`repro.core._soa_native`), so lanes of
+different points genuinely run in parallel while sharing one in-process
+:class:`~repro.workload.columnar.BlockCache`, parse-once trace columns
+and the result store -- no worker startup, no pickling, no per-worker
+re-parsing.  Batch futures hand back the engine's ``RunResult`` values
+directly (for native lanes, built straight from ``LaneState.result()``
+arrays), and finished points persist through the store's coalesced
+:meth:`~repro.experiments.store.ResultCache.put_many` path -- one fsync
+per drained batch, not one per point.
 """
 
 from __future__ import annotations
@@ -32,13 +51,17 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import multiprocessing
 import os
+import threading
+import time
 from collections.abc import Mapping as _MappingABC
 from concurrent import futures
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping, Protocol, Sequence
 
 from repro.alloc import make_allocator
+from repro.core import _soa_native
 from repro.core.config import PAPER_CONFIG, SimConfig
 from repro.core.simulator import Simulator
 from repro.core.soa import run_point_batch
@@ -214,17 +237,25 @@ def default_scale() -> str:
 # ------------------------------------------------------------------- traces
 _TRACE_CACHE: dict[tuple[int | None, int], list[TraceJob]] = {}
 
+#: serialises trace synthesis so concurrent first use from the thread
+#: executor materialises each (length, seed) once
+_TRACE_CACHE_LOCK = threading.Lock()
+
 
 def sdsc_trace(max_jobs: int | None = None, seed: int = 1995) -> list[TraceJob]:
     """Synthetic SDSC trace, memoised per (length, seed)."""
     key = (max_jobs, seed)
-    if key not in _TRACE_CACHE:
-        full = _TRACE_CACHE.get((None, seed))
-        if full is None:
-            full = synthesize_sdsc_trace(seed=seed)
-            _TRACE_CACHE[(None, seed)] = full
-        _TRACE_CACHE[key] = full[:max_jobs] if max_jobs else full
-    return _TRACE_CACHE[key]
+    hit = _TRACE_CACHE.get(key)
+    if hit is not None:
+        return hit
+    with _TRACE_CACHE_LOCK:
+        if key not in _TRACE_CACHE:
+            full = _TRACE_CACHE.get((None, seed))
+            if full is None:
+                full = synthesize_sdsc_trace(seed=seed)
+                _TRACE_CACHE[(None, seed)] = full
+            _TRACE_CACHE[key] = full[:max_jobs] if max_jobs else full
+        return _TRACE_CACHE[key]
 
 
 def make_workload(
@@ -419,47 +450,88 @@ def run_spec_replication(
     return {m: result.metric(m) for m in METRICS}
 
 
-def run_spec_batch(
+def run_spec_batch_results(
     spec: PointSpec,
     seeds: Sequence[int],
     trace: Sequence[TraceJob] | None = None,
-) -> list[dict[str, float]]:
+) -> list:
     """Execute a whole replication batch of a point in lockstep.
 
     The ``engine="soa"`` work unit: the batch advances through
     :func:`repro.core.soa.run_point_batch` (compiled lanes when the
     point's strategies are covered, interleaved reference runs
-    otherwise).  Results are in seed order and bit-identical to
-    ``[run_spec_replication(spec, s, trace) for s in seeds]``.
+    otherwise).  Returns the engine's ``RunResult`` objects in seed
+    order -- for native lanes those are built straight from
+    ``LaneState.result()`` arrays, and in-process executors hand them
+    back to the drain loop without any payload-dict round trip.
     """
-    results = run_point_batch(
+    return run_point_batch(
         lambda seed, observers=(): build_simulator(
             spec, seed, trace=trace, observers=observers
         ),
         seeds,
     )
+
+
+def run_spec_batch(
+    spec: PointSpec,
+    seeds: Sequence[int],
+    trace: Sequence[TraceJob] | None = None,
+) -> list[dict[str, float]]:
+    """Dict form of :func:`run_spec_batch_results` (the picklable
+    process-pool work unit).  Results are in seed order and
+    bit-identical to ``[run_spec_replication(spec, s, trace) for s in
+    seeds]``."""
+    results = run_spec_batch_results(spec, seeds, trace)
     return [{m: r.metric(m) for m in METRICS} for r in results]
 
 
-#: task marker: fetch the external trace from the worker-process global
-#: (shipped once per worker by the pool initializer, not per task)
-_TRACE_FROM_INITIALIZER = "@initializer"
+#: task-trace marker prefix: fetch the external trace from the worker
+#: process's registry under the fingerprint after the ``:`` (shipped once
+#: per worker -- by fork inheritance or the pool initializer -- not
+#: pickled into every task)
+_TRACE_FROM_INITIALIZER = "@trace"
 
-_WORKER_TRACE: list[TraceJob] | None = None
+#: per-process registry of external traces, keyed by
+#: :func:`trace_fingerprint`.  Populated in the parent before a fork
+#: start (children inherit it, so the initializer is skipped) or by
+#: :func:`_set_worker_trace` under spawn.
+_WORKER_TRACES: dict[str, list[TraceJob]] = {}
 
 
-def _set_worker_trace(trace: Sequence[TraceJob] | None) -> None:
-    global _WORKER_TRACE
-    _WORKER_TRACE = list(trace) if trace is not None else None
+def _set_worker_trace(
+    fingerprint: str, trace: Sequence[TraceJob] | None
+) -> None:
+    """Pool initializer: register an external trace under its fingerprint."""
+    if trace is not None:
+        _WORKER_TRACES[fingerprint] = list(trace)
+
+
+def _trace_marker(trace: Sequence[TraceJob]) -> str:
+    return f"{_TRACE_FROM_INITIALIZER}:{trace_fingerprint(trace)}"
+
+
+def _resolve_task_trace(
+    trace: Sequence[TraceJob] | str | None,
+) -> Sequence[TraceJob] | None:
+    """Turn a task's trace field into the actual trace (or ``None``)."""
+    if not isinstance(trace, str):
+        return trace
+    fingerprint = trace.partition(":")[2]
+    resolved = _WORKER_TRACES.get(fingerprint)
+    if resolved is None:
+        raise RuntimeError(
+            f"worker has no registered trace for {fingerprint!r}; "
+            "the pool initializer did not run"
+        )
+    return resolved
 
 
 def _run_task(
     task: tuple[PointSpec, int, Sequence[TraceJob] | str | None],
 ) -> dict[str, float]:
     spec, seed, trace = task
-    if isinstance(trace, str):  # _TRACE_FROM_INITIALIZER
-        trace = _WORKER_TRACE
-    return run_spec_replication(spec, seed, trace)
+    return run_spec_replication(spec, seed, _resolve_task_trace(trace))
 
 
 #: inflight-map marker for a whole-batch (lockstep) task
@@ -470,9 +542,22 @@ def _run_batch_task(
     task: tuple[PointSpec, tuple[int, ...], Sequence[TraceJob] | str | None],
 ) -> list[dict[str, float]]:
     spec, seeds, trace = task
-    if isinstance(trace, str):  # _TRACE_FROM_INITIALIZER
-        trace = _WORKER_TRACE
-    return run_spec_batch(spec, seeds, trace)
+    return run_spec_batch(spec, seeds, _resolve_task_trace(trace))
+
+
+def _run_task_raw(task: tuple[PointSpec, int, Sequence[TraceJob] | None]):
+    """Zero-copy work unit for in-process executors: the ``RunResult``
+    itself, no metric-dict materialisation in the worker."""
+    spec, seed, trace = task
+    return build_simulator(spec, seed, trace=trace).run()
+
+
+def _run_batch_task_raw(
+    task: tuple[PointSpec, tuple[int, ...], Sequence[TraceJob] | None],
+) -> list:
+    """Zero-copy batch work unit (see :func:`run_spec_batch_results`)."""
+    spec, seeds, trace = task
+    return run_spec_batch_results(spec, seeds, trace)
 
 
 # ---------------------------------------------------------------- executors
@@ -513,6 +598,43 @@ class SerialExecutor:
         """Nothing to release for in-process execution."""
 
 
+class ThreadPoolExecutor:
+    """Fan tasks out over ``jobs`` in-process worker threads.
+
+    The GIL-free fast path: when a point runs on the compiled SoA lane
+    driver, the whole per-batch event loop executes inside one ctypes
+    call, and ctypes releases the GIL for the duration of every foreign
+    call (:mod:`repro.core._soa_native`'s GIL-release contract).  Lanes
+    of different points therefore run genuinely in parallel while
+    sharing the process's :class:`~repro.workload.columnar.BlockCache`,
+    parse-once trace columns and result store -- no worker startup, no
+    pickling, no per-worker re-parsing.  Pure-Python (reference-engine)
+    tasks still time-share the GIL under this executor; the campaign's
+    executor auto-selection only defaults to threads when the native
+    driver can actually carry the work.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError(f"ThreadPoolExecutor needs jobs >= 1, got {jobs}")
+        self.jobs = jobs
+        self._pool: futures.ThreadPoolExecutor | None = None
+
+    def submit(self, fn: Callable, task) -> futures.Future:
+        """Submit ``fn(task)`` to the pool (started lazily on first use)."""
+        if self._pool is None:
+            self._pool = futures.ThreadPoolExecutor(
+                max_workers=self.jobs, thread_name_prefix="repro-campaign"
+            )
+        return self._pool.submit(fn, task)
+
+    def close(self) -> None:
+        """Shut the pool down (a later submit would restart it)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
 class ProcessPoolExecutor:
     """Fan tasks out over ``jobs`` worker processes.
 
@@ -547,9 +669,118 @@ class ProcessPoolExecutor:
             self._pool = None
 
 
-def make_executor(jobs: int) -> Executor:
-    """``jobs <= 1`` -> serial; otherwise a process pool."""
-    return SerialExecutor() if jobs <= 1 else ProcessPoolExecutor(jobs)
+#: the valid ``--executor`` choices (``None`` means auto-select)
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+def _thread_executor_viable(specs: Iterable[PointSpec]) -> bool:
+    """True when a thread pool would actually parallelise ``specs``:
+    the native lane driver is importable AND every point runs on the
+    SoA engine (reference-engine points are pure Python and would
+    time-share the GIL)."""
+    if _soa_native.load_kernel() is None:
+        return False
+    return all(spec.run_config.engine == "soa" for spec in specs)
+
+
+def make_executor(
+    jobs: int,
+    kind: str | None = None,
+    specs: Iterable[PointSpec] = (),
+) -> Executor:
+    """Build the executor for a campaign run.
+
+    ``kind`` is one of :data:`EXECUTOR_KINDS` or ``None`` for
+    auto-selection: serial when ``jobs <= 1``, otherwise **thread**
+    when the native SoA driver is available and every spec in ``specs``
+    runs on it (the GIL-released fast path), falling back to
+    **process** for GIL-bound reference-engine work.  An explicit
+    ``kind`` is honoured verbatim, except that a process pool cannot
+    run with fewer than two workers and degrades to serial.
+    """
+    if kind is not None and kind not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"unknown executor {kind!r}; choose from {EXECUTOR_KINDS}"
+        )
+    if kind is None:
+        if jobs <= 1:
+            kind = "serial"
+        elif _thread_executor_viable(specs):
+            kind = "thread"
+        else:
+            kind = "process"
+    if kind == "process" and jobs < 2:
+        kind = "serial"
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadPoolExecutor(max(1, jobs))
+    return ProcessPoolExecutor(jobs)
+
+
+# --------------------------------------------------------------- dispatch
+class _CostModel:
+    """Longest-estimated-first dispatch costs.
+
+    A point's *base* cost follows the issue's a-priori model --
+    ``load x mean(replication bounds) x stream length`` (trace prefix
+    length for replay points, the completion target otherwise) -- and
+    is refined online: each observed batch runtime updates an
+    exponential moving average of seconds-per-base-unit for the point's
+    ``(workload, alloc, sched)`` class, so later picks order by what
+    similar cells actually cost on this machine.  Estimates only order
+    the pending queue; they never touch simulation state, so dispatch
+    order cannot perturb results.
+    """
+
+    #: EMA weight of the newest observation
+    ALPHA = 0.5
+
+    def __init__(self) -> None:
+        self._rates: dict[tuple[str, str, str], float] = {}
+
+    @staticmethod
+    def _class_key(spec: PointSpec) -> tuple[str, str, str]:
+        return (spec.workload, spec.alloc, spec.sched)
+
+    @staticmethod
+    def _stream_length(spec: PointSpec) -> int:
+        if "real" in spec.workload and spec.scale.trace_max_jobs:
+            return spec.scale.trace_max_jobs
+        return spec.run_config.jobs
+
+    def base(self, spec: PointSpec) -> float:
+        """The a-priori per-point work estimate (arbitrary units)."""
+        lo, hi = spec.replication_bounds
+        reps = (lo + hi) / 2.0
+        return max(spec.load, 1e-9) * reps * self._stream_length(spec)
+
+    def estimate(self, spec: PointSpec) -> float:
+        """Estimated wall-clock cost (base units scaled by the observed
+        per-class rate; unobserved classes use the mean known rate)."""
+        rate = self._rates.get(self._class_key(spec))
+        if rate is None:
+            rate = (
+                sum(self._rates.values()) / len(self._rates)
+                if self._rates else 1.0
+            )
+        return self.base(spec) * rate
+
+    def observe(self, spec: PointSpec, seconds: float, seeds: int) -> None:
+        """Fold one completed batch's wall time into the class rate."""
+        if seconds <= 0.0 or seeds <= 0:
+            return
+        per_rep_base = self.base(spec) * 2.0 / (
+            sum(spec.replication_bounds) or 1
+        )
+        if per_rep_base <= 0.0:
+            return
+        rate = (seconds / seeds) / per_rep_base
+        key = self._class_key(spec)
+        old = self._rates.get(key)
+        self._rates[key] = (
+            rate if old is None else old + self.ALPHA * (rate - old)
+        )
 
 
 # ----------------------------------------------------------------- campaign
@@ -623,18 +854,82 @@ class Campaign:
         return cls(specs, trace=trace)
 
     # ------------------------------------------------------------ execution
+    def _prime_fork_state(self, specs: Iterable[PointSpec]) -> None:
+        """Parse traces and derive replay columns once in the parent
+        before a fork-started pool spins up.
+
+        The memo caches involved (:func:`sdsc_trace`'s trace memo,
+        :class:`~repro.workload.trace.TraceWorkload`'s column memo and
+        the columnar block cache) are module globals, so fork children
+        inherit the parsed state instead of every worker re-parsing the
+        trace from scratch on its first task.
+        """
+        seen: set[tuple] = set()
+        for spec in specs:
+            if "real" not in spec.workload:
+                continue
+            key = (spec.workload, spec.load, spec.scale, spec.run_config)
+            if key in seen:
+                continue
+            seen.add(key)
+            workload = make_workload(
+                spec.workload, spec.run_config, spec.load, spec.scale,
+                trace=self.trace,
+            )
+            # pulling the first block forces trace parse + column
+            # derivation into the parent's (inherited) memo caches
+            next(workload.blocks(spec.run_config.seed, 8), None)
+
+    def _process_pool(
+        self, jobs: int, specs: Iterable[PointSpec]
+    ) -> tuple[Sequence[TraceJob] | str | None, "ProcessPoolExecutor"]:
+        """A process pool plus the per-task trace field to use with it.
+
+        Fork-started workers inherit the parent's parsed state, so the
+        parent primes the trace/column memos up front
+        (:meth:`_prime_fork_state`), registers any external trace in the
+        worker registry, and skips the pool initializer entirely.
+        Spawn-started workers inherit nothing: the external trace ships
+        once per worker via the initializer instead.  Either way tasks
+        carry only a small fingerprint marker, never the trace itself.
+        """
+        fork = multiprocessing.get_start_method() == "fork"
+        if fork:
+            self._prime_fork_state(specs)
+        if self.trace is None:
+            return None, ProcessPoolExecutor(jobs)
+        marker = _trace_marker(self.trace)
+        fingerprint = marker.partition(":")[2]
+        if fork:
+            _WORKER_TRACES[fingerprint] = list(self.trace)
+            return marker, ProcessPoolExecutor(jobs)
+        return marker, ProcessPoolExecutor(
+            jobs, initializer=_set_worker_trace,
+            initargs=(fingerprint, self.trace),
+        )
+
     def run(
         self,
         jobs: int = 1,
         executor: Executor | None = None,
         cache: ResultCache | None = None,
         progress: Callable[[str], None] | None = None,
+        executor_kind: str | None = None,
     ) -> dict[PointSpec, PointResult]:
         """Execute every point (replications included); returns a
         :class:`PointResult` (metric means + replication summaries) per
         spec.  Results are read from / written to the shared result
         store, so repeated campaigns and overlapping figure sets only
-        ever simulate a cell once."""
+        ever simulate a cell once.
+
+        ``executor_kind`` picks the backend (:data:`EXECUTOR_KINDS`);
+        ``None`` auto-selects: serial for ``jobs <= 1``, threads when
+        the native SoA driver carries every pending point (the GIL-free
+        fast path), a process pool otherwise.  The choice never affects
+        results -- replication seeds are a pure function of the spec,
+        and batches are fed to the replication controller in seed
+        order regardless of completion order.
+        """
         note = progress if progress is not None else (lambda _msg: None)
         store = cache if cache is not None else global_cache()
         results: dict[PointSpec, PointResult] = {}
@@ -653,63 +948,107 @@ class Campaign:
             return results
 
         own_executor = executor is None
+        in_process = False
+        task_trace: Sequence[TraceJob] | str | None = self.trace
         if executor is not None:
             exe = executor
-            trace: Sequence[TraceJob] | str | None = self.trace
-        elif jobs > 1 and self.trace is not None:
-            # ship the external trace ONCE per worker process via the
-            # pool initializer instead of pickling it into every task
-            exe = ProcessPoolExecutor(jobs, initializer=_set_worker_trace,
-                                      initargs=(self.trace,))
-            trace = _TRACE_FROM_INITIALIZER
         else:
-            exe = make_executor(jobs)
-            trace = self.trace
+            kind = executor_kind
+            if kind is not None and kind not in EXECUTOR_KINDS:
+                raise ValueError(
+                    f"unknown executor {kind!r}; choose from {EXECUTOR_KINDS}"
+                )
+            if kind is None:
+                if jobs <= 1:
+                    kind = "serial"
+                elif _thread_executor_viable(controllers):
+                    kind = "thread"
+                else:
+                    kind = "process"
+            if kind == "process" and jobs < 2:
+                kind = "serial"
+            if kind == "process":
+                task_trace, exe = self._process_pool(jobs, controllers)
+            elif kind == "thread":
+                exe = ThreadPoolExecutor(max(1, jobs))
+                in_process = True
+            else:
+                exe = SerialExecutor()
+                in_process = True
+        # in-process executors skip the payload-dict round trip: tasks
+        # hand back RunResult objects (for native lanes, built straight
+        # from LaneState.result() arrays) and the drain loop reads the
+        # metrics directly.  Process pools keep the picklable dict form.
+        run_batch: Callable = _run_batch_task_raw if in_process else _run_batch_task
+        run_one: Callable = _run_task_raw if in_process else _run_task
 
-        # completion-driven drain: every point persists to the store the
-        # moment its replication batch lands, so an interrupted campaign
-        # loses at most the batches in flight, and unconverged points
-        # resubmit seeds without waiting on unrelated cells
-        inflight: dict[futures.Future, tuple[PointSpec, int]] = {}
+        # completion-driven drain: finished points flush to the store in
+        # coalesced batches (one directory fsync per drained round), so
+        # an interrupted campaign loses at most the rounds in flight,
+        # and unconverged points resubmit seeds without waiting on
+        # unrelated cells.  New work dispatches longest-estimated-first
+        # from a single pending queue, topped up whenever the in-flight
+        # window (2x the worker count) has room.
+        model = _CostModel()
+        pending: list[PointSpec] = list(controllers)
+        window = max(1, exe.jobs) * 2 if exe.jobs > 1 else 1
+        inflight: dict[futures.Future, tuple[PointSpec, int | str]] = {}
         batch_seeds: dict[PointSpec, tuple[int, ...]] = {}
         batch_got: dict[PointSpec, dict[int, dict[str, float]]] = {}
+        batch_started: dict[PointSpec, float] = {}
+        writes: list[tuple[str, dict]] = []
 
         def submit_batch(spec: PointSpec) -> None:
             seeds = controllers[spec].next_seeds()
             batch_seeds[spec] = seeds
             batch_got[spec] = {}
+            batch_started[spec] = time.perf_counter()
             if spec.run_config.engine == "soa":
                 # one lockstep task per batch: the whole seed set
                 # advances together (repro.core.soa)
-                inflight[exe.submit(_run_batch_task, (spec, seeds, trace))] = (
+                inflight[exe.submit(run_batch, (spec, seeds, task_trace))] = (
                     spec,
                     _BATCH,
                 )
                 return
             for seed in seeds:
-                inflight[exe.submit(_run_task, (spec, seed, trace))] = (spec, seed)
+                inflight[exe.submit(run_one, (spec, seed, task_trace))] = (
+                    spec, seed,
+                )
+
+        def as_metrics(result) -> dict[str, float]:
+            if isinstance(result, dict):
+                return result
+            return {m: result.metric(m) for m in METRICS}
 
         def process(fut: futures.Future) -> None:
             nonlocal done
             spec, seed = inflight.pop(fut)
             if seed == _BATCH:
-                for s, metrics in zip(batch_seeds[spec], fut.result()):
-                    batch_got[spec][s] = metrics
+                for s, r in zip(batch_seeds[spec], fut.result()):
+                    batch_got[spec][s] = as_metrics(r)
             else:
-                batch_got[spec][seed] = fut.result()
+                batch_got[spec][seed] = as_metrics(fut.result())
             if len(batch_got[spec]) < len(batch_seeds[spec]):
                 return
             ctrl = controllers[spec]
+            model.observe(
+                spec,
+                time.perf_counter() - batch_started.pop(spec),
+                len(batch_seeds[spec]),
+            )
             # feed in seed order: controller state must not depend on
             # worker completion order (serial/parallel equivalence)
             ctrl.add_batch([batch_got[spec][s] for s in batch_seeds[spec]])
             del batch_seeds[spec], batch_got[spec]
             if not ctrl.finished:
+                # a continuation batch bypasses the pending queue: its
+                # point is already the campaign's critical path
                 submit_batch(spec)
                 return
             rep = ctrl.result()
             out = PointResult.from_replication(rep)
-            store.put(spec.key(), out.to_payload())
+            writes.append((spec.key(), out.to_payload()))
             results[spec] = out
             del controllers[spec]
             done += 1
@@ -718,21 +1057,28 @@ class Campaign:
                 f"({rep.replications} rep{'s' if rep.replications != 1 else ''})"
             )
 
+        def top_up() -> None:
+            while pending and len(inflight) < window:
+                nxt = max(pending, key=model.estimate)
+                pending.remove(nxt)
+                submit_batch(nxt)
+
+        def flush() -> None:
+            if writes:
+                store.put_many(writes)
+                writes.clear()
+
         try:
-            for spec in list(controllers):
-                submit_batch(spec)
-                # a serial executor resolves at submit time: drain now so
-                # each point persists before the next one runs
-                ready, _ = futures.wait(tuple(inflight), timeout=0)
-                for fut in ready:
-                    process(fut)
-            while inflight:
+            while pending or inflight:
+                top_up()
                 ready, _ = futures.wait(
                     tuple(inflight), return_when=futures.FIRST_COMPLETED
                 )
                 for fut in ready:
                     process(fut)
+                flush()
         finally:
+            flush()
             if own_executor:
                 exe.close()
         return results

@@ -74,6 +74,7 @@ def run_point(
     cache: ResultCache | None = None,
     trace: Sequence[TraceJob] | None = None,
     jobs: int = 1,
+    executor: str | None = None,
 ) -> PointResult:
     """Run (with replications) one point; returns metric means (a
     mapping) plus their replication summaries."""
@@ -84,7 +85,7 @@ def run_point(
         trace_source=trace_fingerprint(trace) if trace is not None else "sdsc",
     )
     campaign = Campaign((spec,), trace=trace)
-    return campaign.run(jobs=jobs, cache=cache)[spec]
+    return campaign.run(jobs=jobs, cache=cache, executor_kind=executor)[spec]
 
 
 # ------------------------------------------------------------------ figures
@@ -110,6 +111,7 @@ def run_figure(
     cache: ResultCache | None = None,
     trace: Sequence[TraceJob] | None = None,
     jobs: int = 1,
+    executor: str | None = None,
 ) -> FigureResult:
     """Regenerate one paper figure's data series."""
     spec = FIGURES[fig_id]
@@ -119,7 +121,7 @@ def run_figure(
         (fig_id,), scale=sc, config=config,
         network_mode=network_mode, trace=trace,
     )
-    points = campaign.run(jobs=jobs, cache=cache)
+    points = campaign.run(jobs=jobs, cache=cache, executor_kind=executor)
     source = trace_fingerprint(trace) if trace is not None else "sdsc"
     series: dict[str, tuple[float, ...]] = {}
     for alloc, sched in spec.combos:

@@ -44,8 +44,8 @@ from repro.core.hooks import TrajectoryObserver
 from repro.experiments.campaign import (
     METRICS,
     SCALES,
-    _TRACE_FROM_INITIALIZER,
     _set_worker_trace,
+    _trace_marker,
     Campaign,
     PointResult,
     PointSpec,
@@ -216,16 +216,23 @@ class Scenario:
         trace: Sequence[TraceJob] | None = None,
         progress: Callable[[str], None] | None = None,
         auto_saturation: bool = False,
+        executor: str | None = None,
     ) -> "ScenarioResult":
         """Execute the scenario's campaign (cached, optionally parallel)
         and, when ``sample_interval`` is set, collect one trajectory per
         point.
 
+        ``executor`` picks the campaign backend
+        (:data:`~repro.experiments.campaign.EXECUTOR_KINDS`; ``None``
+        auto-selects, see :meth:`Campaign.run`).  The choice never
+        affects metrics or trajectories.
+
         Trajectories are time series, not scalar means, so they are NOT
         persisted in the result store: each ``run`` call re-simulates
         one replication per point to record them.  With ``jobs > 1``
-        those runs fan out over a process pool alongside the campaign's
-        own parallelism.
+        those runs fan out over a worker pool (threads under the
+        ``thread`` executor, processes otherwise) alongside the
+        campaign's own parallelism.
 
         With ``auto_saturation=True`` a saturation scan
         (:func:`repro.experiments.trajectory.scan_saturation`) first
@@ -262,24 +269,42 @@ class Scenario:
                     self, loads=self.loads + (knee,)
                 )
         campaign = run_scenario.campaign(trace)
-        results = campaign.run(jobs=jobs, cache=cache, progress=progress)
+        results = campaign.run(
+            jobs=jobs, cache=cache, progress=progress, executor_kind=executor
+        )
         trajectories: dict[str, dict] = {}
         if run_scenario.sample_interval is not None:
             points = campaign.points
             labels = [spec.label() for spec in points]
-            if jobs > 1 and len(points) > 1:
-                # ship an external trace once per worker via the pool
-                # initializer (as campaign.run does) instead of pickling
-                # it into every task
-                pool = futures.ProcessPoolExecutor(
-                    max_workers=min(jobs, len(points)),
-                    initializer=_set_worker_trace if trace is not None else None,
-                    initargs=(trace,) if trace is not None else (),
-                )
+            workers = min(jobs, len(points))
+            if workers > 1 and executor != "serial":
+                task_trace: Sequence[TraceJob] | str | None
+                if executor == "thread":
+                    # in-process: trajectories share the parent's trace
+                    # and caches directly -- no initializer, no pickling
+                    pool: futures.Executor = futures.ThreadPoolExecutor(
+                        max_workers=workers
+                    )
+                    task_trace = trace
+                else:
+                    # ship an external trace once per worker via the
+                    # pool initializer, keyed by its fingerprint (as
+                    # campaign.run does) instead of pickling it into
+                    # every task
+                    has_trace = trace is not None
+                    pool = futures.ProcessPoolExecutor(
+                        max_workers=workers,
+                        initializer=_set_worker_trace if has_trace else None,
+                        initargs=(
+                            (trace_fingerprint(trace), trace)
+                            if has_trace else ()
+                        ),
+                    )
+                    task_trace = _trace_marker(trace) if has_trace else None
                 run_one = partial(
                     run_trajectory,
                     sample_interval=run_scenario.sample_interval,
-                    trace=_TRACE_FROM_INITIALIZER if trace is not None else None,
+                    trace=task_trace,
                 )
                 with pool:
                     series = list(pool.map(run_one, points))
@@ -310,13 +335,14 @@ def run_trajectory(
     Uses the point's base seed (replication 0), so the time series
     describes the same run whose metrics entered the campaign mean.
     Module-level and pure (like the campaign work unit), hence usable
-    from a process pool; a string ``trace`` marks the worker-initializer
-    hand-off, exactly as in :func:`~repro.experiments.campaign._run_task`.
+    from a process pool; a string ``trace`` is a fingerprint marker
+    resolved against the worker's trace registry, exactly as in
+    :func:`~repro.experiments.campaign._run_task`.
     """
-    if isinstance(trace, str):  # _TRACE_FROM_INITIALIZER
+    if isinstance(trace, str):  # "@trace:<fingerprint>" marker
         from repro.experiments import campaign as _campaign
 
-        trace = _campaign._WORKER_TRACE
+        trace = _campaign._resolve_task_trace(trace)
     cfg = spec.run_config
     observer = TrajectoryObserver(sample_interval, processors=cfg.processors)
     build_simulator(spec, cfg.seed, trace=trace, observers=(observer,)).run()

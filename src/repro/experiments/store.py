@@ -26,7 +26,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Mapping
+from typing import Iterable, Mapping
 
 
 def _default_cache_path() -> Path:
@@ -129,6 +129,42 @@ class ResultCache:
                 self._write_shard(key, self._mem[key])
             except OSError:
                 self.disk = False  # read-only filesystem: stay in memory
+
+    def put_many(self, items: Iterable[tuple[str, Mapping]]) -> None:
+        """Store a batch of ``(key, value)`` pairs with coalesced disk I/O.
+
+        Each shard is still written atomically (tempfile + ``rename``),
+        but instead of leaving every entry's durability to the next
+        metadata flush, the *directory* is fsynced **once per batch**
+        after all renames land -- so a whole drained campaign round
+        costs one fsync, not one per point, and a crash loses at most
+        the final batch.  This is the campaign drain loop's write path;
+        :meth:`put` remains the single-entry form.
+        """
+        wrote = False
+        for key, value in items:
+            self._mem[key] = dict(value)
+            if self.disk:
+                try:
+                    self._write_shard(key, self._mem[key])
+                    wrote = True
+                except OSError:
+                    self.disk = False  # read-only filesystem: stay in memory
+        if wrote:
+            self._sync_dir()
+
+    def _sync_dir(self) -> None:
+        """One fsync of the shard directory (batch durability point)."""
+        try:
+            fd = os.open(self.path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass  # fsync on a directory is best-effort (e.g. NFS)
+        finally:
+            os.close(fd)
 
     # ---------------------------------------------------------------- disk
     def _read_shard(self, key: str) -> dict | None:

@@ -15,6 +15,17 @@ operations in the identical order -- compiled with ``-ffp-contract=off``
 so no multiply-adds are fused -- its outputs are bit-identical to the
 reference engine.
 
+**GIL-release contract.**  The kernel is loaded with :class:`ctypes.CDLL`
+(never ``PyDLL``), so every foreign call releases the GIL for its whole
+duration, and the C code touches nothing but the flat arrays passed as
+arguments -- no Python state, no globals, no allocation.  Calls made
+from different threads on *disjoint* arrays therefore run genuinely in
+parallel; the thread-based campaign executor
+(:mod:`repro.experiments.campaign`) relies on this.  The one shared
+mutable step -- the lazy first-use compile and the ``_kernel`` memo --
+is serialised by :data:`KERNEL_LOCK`, so N threads racing through
+:func:`load_kernel` build and load exactly once.
+
 Set ``REPRO_NATIVE=0`` to disable compilation and dispatch entirely.
 """
 
@@ -26,7 +37,13 @@ import os
 import shutil
 import subprocess
 import tempfile
+import threading
 from pathlib import Path
+
+#: serialises lazy kernel builds (shared with the SoA lane driver and
+#: the workload draw helper, so concurrent first use from a thread pool
+#: compiles one translation unit at a time, each exactly once)
+KERNEL_LOCK = threading.Lock()
 
 _SOURCE = r"""
 #include <stdint.h>
@@ -234,13 +251,20 @@ def _build() -> ctypes.CDLL | None:
 
 
 def load_kernel() -> ctypes.CDLL | None:
-    """The compiled kernel, or ``None`` when unavailable (memoised)."""
+    """The compiled kernel, or ``None`` when unavailable (memoised).
+
+    Thread-safe: concurrent first calls serialise on
+    :data:`KERNEL_LOCK` (double-checked), so the gcc invocation runs
+    once and every caller gets the same handle.
+    """
     global _kernel
     if _kernel is _UNSET:
-        if os.environ.get("REPRO_NATIVE", "1") == "0":
-            _kernel = None
-        else:
-            _kernel = _build()
+        with KERNEL_LOCK:
+            if _kernel is _UNSET:
+                if os.environ.get("REPRO_NATIVE", "1") == "0":
+                    _kernel = None
+                else:
+                    _kernel = _build()
     return _kernel
 
 

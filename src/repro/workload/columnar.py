@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import math
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
@@ -260,24 +261,35 @@ class BlockStream:
     of cursors can replay the stream from the start without re-drawing
     the RNG -- this is what lets six strategy combinations of one
     campaign cell share a single generation pass.
+
+    Thread-safe: streams are shared process-wide through
+    :class:`BlockCache`, and the thread-based campaign executor replays
+    one stream from many worker threads at once.  The producer pull is
+    the critical section -- two threads advancing ``_it`` concurrently
+    would interleave RNG draws and corrupt the stream -- so it runs
+    under a per-stream lock; reads of already-materialised blocks are
+    lock-free (the list is append-only).
     """
 
     def __init__(self, workload: "Workload", seed: int,
                  count: int = DEFAULT_BLOCK) -> None:
         self._it = workload.blocks(seed, count)
+        self._lock = threading.Lock()
         self.blocks: list[JobBlock] = []
         self.exhausted = False
         self.nbytes = 0
 
     def block(self, i: int) -> JobBlock | None:
         """Block ``i`` of the stream, or ``None`` past the end."""
-        while i >= len(self.blocks) and not self.exhausted:
-            blk = next(self._it, None)
-            if blk is None:
-                self.exhausted = True
-            elif len(blk):
-                self.blocks.append(blk)
-                self.nbytes += blk.nbytes
+        if i >= len(self.blocks) and not self.exhausted:
+            with self._lock:
+                while i >= len(self.blocks) and not self.exhausted:
+                    blk = next(self._it, None)
+                    if blk is None:
+                        self.exhausted = True
+                    elif len(blk):
+                        self.blocks.append(blk)
+                        self.nbytes += blk.nbytes
         return self.blocks[i] if i < len(self.blocks) else None
 
 
@@ -327,11 +339,18 @@ class BlockCache:
     :meth:`stream` against an approximate byte budget (streams keep
     growing after admission; live cursors hold their stream alive
     regardless, so eviction never breaks an in-flight consumer).
+
+    Thread-safe: lookup, admission, LRU bookkeeping and eviction all
+    run under one lock, so concurrent first use of the same key from a
+    thread pool admits exactly one stream -- every caller shares it and
+    the underlying generation pass runs once
+    (``tests/test_thread_executor.py`` hammers this).
     """
 
     def __init__(self, budget: int | None = None) -> None:
         self._streams: OrderedDict[tuple, BlockStream] = OrderedDict()
         self._budget = budget
+        self._lock = threading.Lock()
 
     @property
     def budget(self) -> int:
@@ -341,15 +360,17 @@ class BlockCache:
     def stream(self, workload: "Workload", seed: int, key: tuple,
                count: int = DEFAULT_BLOCK) -> BlockStream:
         """The shared stream for ``key``, creating and evicting as needed."""
-        stream = self._streams.get(key)
-        if stream is None:
-            stream = BlockStream(workload, seed, count)
-            self._streams[key] = stream
-        self._streams.move_to_end(key)
-        self._trim()
-        return stream
+        with self._lock:
+            stream = self._streams.get(key)
+            if stream is None:
+                stream = BlockStream(workload, seed, count)
+                self._streams[key] = stream
+            self._streams.move_to_end(key)
+            self._trim()
+            return stream
 
     def _trim(self) -> None:
+        # caller holds self._lock
         while len(self._streams) > 1:
             total = sum(s.nbytes for s in self._streams.values())
             if total <= self.budget:
@@ -358,7 +379,8 @@ class BlockCache:
 
     def clear(self) -> None:
         """Drop every cached stream (tests and memory pressure)."""
-        self._streams.clear()
+        with self._lock:
+            self._streams.clear()
 
 
 #: the process-wide cache shared by every consumer in this process

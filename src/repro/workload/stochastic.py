@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.config import TIME_GRID, SimConfig
 from repro.core.job import Job
 from repro.mesh.geometry import clip_side
+from repro.workload import _native
 from repro.workload.base import Workload, quantize_time
 from repro.workload.columnar import DEFAULT_BLOCK, JobBlock
 
@@ -90,8 +91,11 @@ class StochasticWorkload(Workload):
         same ``scale * x`` multiplication ``Generator.exponential``
         does.  Uniform sides mix exponential and Lemire bounded-integer
         draws, whose bit-stream consumption cannot be replayed
-        column-wise, so that branch keeps a scalar draw loop (in exact
-        draw order) and vectorises only the post-processing.  Arrival
+        column-wise; that branch runs the per-job loop in C instead
+        (:mod:`repro.workload._native`, calling numpy's own
+        ``libnpyrandom`` draw routines on the live bit generator, so
+        order and values are identical by construction), degrading to
+        the same loop in Python when the helper is unavailable.  Arrival
         accumulation and grid-snapping are shared: a ``cumsum`` seeded
         with the running time reproduces the scalar left-to-right
         float additions, and ``floor(t * G) / G`` is
@@ -110,13 +114,17 @@ class StochasticWorkload(Workload):
                 w = np.empty(count, dtype=np.int64)
                 l = np.empty(count, dtype=np.int64)
                 k_raw = np.empty(count, dtype=np.float64)
-                draw_exp, draw_int = rng.exponential, rng.integers
                 w_hi, l_hi = cfg.width + 1, cfg.length + 1
-                for i in range(count):
-                    gaps[i] = draw_exp(mean_interarrival)
-                    w[i] = draw_int(1, w_hi)
-                    l[i] = draw_int(1, l_hi)
-                    k_raw[i] = draw_exp(cfg.num_mes)
+                if not _native.fill_uniform_draws(
+                    rng, count, mean_interarrival, w_hi, l_hi,
+                    cfg.num_mes, gaps, w, l, k_raw,
+                ):
+                    draw_exp, draw_int = rng.exponential, rng.integers
+                    for i in range(count):
+                        gaps[i] = draw_exp(mean_interarrival)
+                        w[i] = draw_int(1, w_hi)
+                        l[i] = draw_int(1, l_hi)
+                        k_raw[i] = draw_exp(cfg.num_mes)
             else:
                 raw = rng.standard_exponential(4 * count).reshape(count, 4)
                 gaps = raw[:, 0] * mean_interarrival

@@ -28,6 +28,7 @@ time.  Replay follows the paper's methodology:
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
@@ -42,6 +43,10 @@ from repro.workload.columnar import DEFAULT_BLOCK, JobBlock
 #: parse-once-per-process memo of derived trace columns, keyed by the
 #: workload's block fingerprint (trace digest + every shaping parameter)
 _COLUMN_MEMO: dict[tuple, JobBlock] = {}
+
+#: serialises column derivation so concurrent first use from a thread
+#: pool derives each fingerprint once (columns are immutable afterwards)
+_COLUMN_LOCK = threading.Lock()
 
 
 @dataclass(frozen=True, slots=True)
@@ -190,11 +195,21 @@ class TraceWorkload(Workload):
         shaping via per-unique-size lookup, quantile-matched demands)
         runs once per process for a given fingerprint; later workload
         instances over the same trace and parameters reuse the arrays.
+        Thread-safe: derivation serialises on a module lock, so a
+        thread pool racing through first use computes each fingerprint
+        once (the memoised columns are frozen read-only).
         """
         key = self.block_fingerprint()
         block = _COLUMN_MEMO.get(key)
         if block is not None:
             return block
+        with _COLUMN_LOCK:
+            block = _COLUMN_MEMO.get(key)
+            if block is not None:
+                return block
+            return self._derive_columns(key)
+
+    def _derive_columns(self, key: tuple) -> JobBlock:
         cfg = self.config
         scaled = (self._arrivals - self._arrivals[0]) * self.factor
         arrival = np.floor(scaled * TIME_GRID) / TIME_GRID

@@ -7,12 +7,14 @@ from concurrent import futures
 import pytest
 
 from repro.core.config import SimConfig
+from repro.core import _soa_native
 from repro.experiments.campaign import (
     Campaign,
     PointSpec,
     ProcessPoolExecutor,
     Scale,
     SerialExecutor,
+    ThreadPoolExecutor,
     make_executor,
     run_spec_replication,
     trace_fingerprint,
@@ -109,9 +111,30 @@ class TestCampaignEnumeration:
 class TestExecutors:
     def test_make_executor(self):
         assert isinstance(make_executor(1), SerialExecutor)
-        assert isinstance(make_executor(4), ProcessPoolExecutor)
+        # auto (no spec knowledge): thread when the native SoA driver
+        # is available, process otherwise
+        auto = make_executor(4)
+        if _soa_native.load_kernel() is not None:
+            assert isinstance(auto, ThreadPoolExecutor)
+        else:
+            assert isinstance(auto, ProcessPoolExecutor)
         with pytest.raises(ValueError):
             ProcessPoolExecutor(1)
+
+    def test_make_executor_kinds(self):
+        assert isinstance(make_executor(4, "serial"), SerialExecutor)
+        assert isinstance(make_executor(4, "thread"), ThreadPoolExecutor)
+        assert isinstance(make_executor(4, "process"), ProcessPoolExecutor)
+        # a process pool cannot run on one worker: degrades to serial
+        assert isinstance(make_executor(1, "process"), SerialExecutor)
+        with pytest.raises(ValueError):
+            make_executor(4, "fibers")
+
+    def test_auto_prefers_process_for_reference_engine(self):
+        # reference-engine points are pure Python (GIL-bound): a thread
+        # pool would serialise them, so auto-selection must not pick it
+        exe = make_executor(4, specs=(_spec(),))
+        assert isinstance(exe, ProcessPoolExecutor)
 
     def test_worker_function_is_picklable_task(self):
         out = run_spec_replication(_spec(), seed=TINY.seed)
