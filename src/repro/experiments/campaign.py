@@ -915,6 +915,7 @@ class Campaign:
         cache: ResultCache | None = None,
         progress: Callable[[str], None] | None = None,
         executor_kind: str | None = None,
+        on_point: Callable[[PointSpec, PointResult, int, int], None] | None = None,
     ) -> dict[PointSpec, PointResult]:
         """Execute every point (replications included); returns a
         :class:`PointResult` (metric means + replication summaries) per
@@ -929,6 +930,13 @@ class Campaign:
         results -- replication seeds are a pure function of the spec,
         and batches are fed to the replication controller in seed
         order regardless of completion order.
+
+        ``on_point`` is a structured progress hook: it is called as
+        ``on_point(spec, result, done, total)`` once per point --
+        immediately for cache hits, then as each remaining point
+        finishes -- which is what the campaign service streams live
+        job progress from.  Like ``progress``, it observes and must not
+        mutate campaign state.
         """
         note = progress if progress is not None else (lambda _msg: None)
         store = cache if cache is not None else global_cache()
@@ -944,6 +952,9 @@ class Campaign:
         total = len(self.points)
         if done:
             note(f"{done}/{total} points already cached")
+        if on_point is not None:
+            for i, (spec, hit_result) in enumerate(results.items(), start=1):
+                on_point(spec, hit_result, i, total)
         if not controllers:
             return results
 
@@ -1021,7 +1032,7 @@ class Campaign:
                 return result
             return {m: result.metric(m) for m in METRICS}
 
-        def process(fut: futures.Future) -> None:
+        def process(fut: futures.Future, resubmit: bool = True) -> None:
             nonlocal done
             spec, seed = inflight.pop(fut)
             if seed == _BATCH:
@@ -1044,7 +1055,8 @@ class Campaign:
             if not ctrl.finished:
                 # a continuation batch bypasses the pending queue: its
                 # point is already the campaign's critical path
-                submit_batch(spec)
+                if resubmit:
+                    submit_batch(spec)
                 return
             rep = ctrl.result()
             out = PointResult.from_replication(rep)
@@ -1056,6 +1068,8 @@ class Campaign:
                 f"[{done}/{total}] {spec.label()} "
                 f"({rep.replications} rep{'s' if rep.replications != 1 else ''})"
             )
+            if on_point is not None:
+                on_point(spec, out, done, total)
 
         def top_up() -> None:
             while pending and len(inflight) < window:
@@ -1078,6 +1092,18 @@ class Campaign:
                     process(fut)
                 flush()
         finally:
+            # Harvest work that finished while the loop was being torn
+            # down (KeyboardInterrupt mid-wait, executor failure): those
+            # futures hold completed replications that would otherwise
+            # be dropped.  With resubmission off, this only folds results
+            # into ``writes`` -- so the flush below loses at most the
+            # batch genuinely still in flight, matching the store's
+            # "one drain round" durability contract.
+            for fut in [f for f in tuple(inflight) if f.done()]:
+                try:
+                    process(fut, resubmit=False)
+                except BaseException:  # noqa: BLE001 - teardown best-effort
+                    continue
             flush()
             if own_executor:
                 exe.close()

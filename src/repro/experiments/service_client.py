@@ -1,0 +1,136 @@
+"""Thin HTTP client for the ``repro serve`` campaign service.
+
+``repro submit``, ``repro status`` and ``repro plot --follow`` are all
+built on this module: a stdlib-only (:mod:`urllib.request`) JSON client
+with a poll-until-done helper.  Every transport or protocol failure is
+raised as :class:`ServiceError` with the service URL named, so the CLI
+maps it to a clean exit-2 message instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Mapping
+
+from repro.experiments.serve import DEFAULT_PORT
+
+#: terminal job states -- polling stops when one is reached
+FINISHED_STATES = frozenset({"done", "failed"})
+
+
+class ServiceError(RuntimeError):
+    """The service is unreachable or replied with an error."""
+
+
+class ServiceClient:
+    """A JSON-over-HTTP client bound to one service endpoint."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 30.0,
+    ) -> None:
+        self.base = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ transport
+    def _request(self, method: str, path: str, body: Mapping | None = None):
+        url = f"{self.base}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error")
+            except (ValueError, UnicodeDecodeError):
+                detail = None
+            raise ServiceError(
+                f"{url}: HTTP {exc.code}" + (f" -- {detail}" if detail else "")
+            ) from None
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            raise ServiceError(
+                f"no campaign service reachable at {self.base} ({exc}); "
+                "start one with 'repro serve'"
+            ) from None
+
+    # ------------------------------------------------------------ endpoints
+    def status(self) -> dict:
+        """``GET /status``: service identity plus every job summary."""
+        return self._request("GET", "/status")
+
+    def submit(self, doc: Mapping) -> dict:
+        """``POST /jobs``: submit a scenario/sweep document; returns the
+        job summary (idempotent for an identical document)."""
+        return self._request("POST", "/jobs", body=doc)
+
+    def job(self, jid: str) -> dict:
+        """``GET /jobs/<id>``: one job's progress summary."""
+        return self._request("GET", f"/jobs/{jid}")
+
+    def report(self, jid: str) -> dict:
+        """``GET /jobs/<id>/report``: schema-3 report of completed points."""
+        return self._request("GET", f"/jobs/{jid}/report")
+
+    def shutdown(self) -> dict:
+        """``POST /shutdown``: stop the service loop."""
+        return self._request("POST", "/shutdown")
+
+    # -------------------------------------------------------------- helpers
+    def wait(
+        self,
+        jid: str,
+        interval: float = 1.0,
+        timeout: float | None = None,
+        progress: Callable[[dict], None] | None = None,
+    ) -> dict:
+        """Poll a job until it reaches a terminal state.
+
+        ``progress`` (when given) receives each polled summary.
+
+        Returns:
+            The final job summary (``state`` is ``done`` or ``failed``).
+
+        Raises:
+            ServiceError: on transport failure or when ``timeout``
+                seconds elapse first.
+        """
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        while True:
+            summary = self.job(jid)
+            if progress is not None:
+                progress(summary)
+            if summary.get("state") in FINISHED_STATES:
+                return summary
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"job {jid} still {summary.get('state')!r} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(interval)
+
+
+def format_job(summary: Mapping) -> str:
+    """One human-readable progress line for a job summary."""
+    state = summary.get("state", "?")
+    done = summary.get("done", 0)
+    total = summary.get("total", 0)
+    line = (
+        f"job {summary.get('id', '?')} [{summary.get('kind', '?')}] "
+        f"{summary.get('name', '?')}: {state} {done}/{total}"
+    )
+    eta = summary.get("eta_seconds")
+    if eta is not None:
+        line += f" (eta {eta:.0f}s)"
+    if summary.get("error"):
+        line += f" -- {summary['error']}"
+    return line

@@ -126,9 +126,12 @@ _HELP_CONTRACTS = {
     "diff": [
         "schema-3 diff report",
         "1 regression",
-        "2 malformed/old-schema reports or disjoint grids",
+        "2 malformed/old-schema reports or disjoint",
     ],
     "plot": ["schema-2/3 report", "2 unreadable report"],
+    "serve": ["resumes\n                     unfinished jobs", "0 on clean shutdown"],
+    "submit": ["--wait polls until done", "2 bad file or unreachable service"],
+    "status": ["2 unknown job or unreachable service"],
 }
 
 

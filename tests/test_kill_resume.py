@@ -1,0 +1,95 @@
+"""Kill-and-resume drill for the campaign engine: SIGKILL a running
+campaign subprocess mid-flight, restart it against the same store, and
+assert that no flushed point recomputes and the final metrics are
+bit-identical to an uninterrupted run."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+
+#: enough smoke points (~0.1s each, serial) to leave a kill window
+SWEEP_ARGS = [
+    "sweep",
+    "--workloads", "uniform",
+    "--loads", "0.02,0.025,0.03,0.035,0.04,0.045,0.05,0.055",
+    "--allocs", "GABL",
+    "--scheds", "FCFS",
+    "--scale", "smoke",
+]
+
+
+def run_sweep(cache_dir: Path, out: Path | None = None, **popen_kw):
+    env = {
+        **os.environ,
+        "PYTHONPATH": SRC,
+        "REPRO_CACHE_DIR": str(cache_dir),
+    }
+    cmd = [sys.executable, "-m", "repro", *SWEEP_ARGS]
+    if out is not None:
+        cmd += ["--out", str(out)]
+    return subprocess.Popen(
+        cmd, env=env, cwd=str(REPO),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        **popen_kw,
+    )
+
+
+def shard_files(cache_dir: Path) -> dict[str, tuple[int, int]]:
+    """name -> (mtime_ns, size) for every flushed shard."""
+    shards = cache_dir / "results.shards"
+    if not shards.is_dir():
+        return {}
+    return {
+        p.name: (p.stat().st_mtime_ns, p.stat().st_size)
+        for p in shards.glob("*.json")
+    }
+
+
+def report_metrics(path: Path) -> dict[str, dict]:
+    doc = json.loads(path.read_text())
+    return {p["key"]: p["metrics"] for p in doc["points"]}
+
+
+def test_sigkill_mid_campaign_then_resume(tmp_path):
+    cache_dir = tmp_path / "cache"
+
+    # 1. start the campaign and SIGKILL it once >= 1 point is flushed
+    proc = run_sweep(cache_dir)
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline and proc.poll() is None:
+        if shard_files(cache_dir):
+            break
+        time.sleep(0.01)
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGKILL)
+    proc.wait(timeout=30)
+    flushed = shard_files(cache_dir)
+    assert flushed, "no point was flushed before the kill window closed"
+
+    # 2. resume against the same store: flushed shards must not be
+    #    rewritten (byte-for-byte cache hits, not recomputes)
+    out = tmp_path / "resumed.json"
+    resumed = run_sweep(cache_dir, out=out)
+    _, err = resumed.communicate(timeout=300)
+    assert resumed.returncode == 0, err
+    after = shard_files(cache_dir)
+    for name, stamp in flushed.items():
+        assert after[name] == stamp, f"flushed shard {name} was recomputed"
+    if len(flushed) < 8:  # the kill landed mid-campaign
+        assert "points already cached" in err
+
+    # 3. the resumed report is bit-identical to an uninterrupted run
+    clean_out = tmp_path / "clean.json"
+    clean = run_sweep(tmp_path / "fresh-cache", out=clean_out)
+    _, err = clean.communicate(timeout=300)
+    assert clean.returncode == 0, err
+    assert report_metrics(out) == report_metrics(clean_out)

@@ -1,0 +1,301 @@
+"""Tests for the campaign service (experiments/serve.py), its thin
+client, and the end-to-end restart drill: SIGKILL the service
+mid-campaign, restart it, and the resumed job completes with zero lost
+flushed points and a report metric-identical to a foreground run."""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.serve import (
+    CampaignService,
+    build_campaign,
+    job_id,
+    make_server,
+)
+from repro.experiments.service_client import ServiceClient, ServiceError
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+
+SCENARIO_DOC = {
+    "name": "serve-test",
+    "workload": "uniform",
+    "loads": [0.02],
+    "allocs": ["GABL"],
+    "scheds": ["FCFS"],
+    "scale": "smoke",
+}
+
+SWEEP_DOC = {
+    "kind": "sweep",
+    "name": "serve-sweep",
+    "workloads": ["uniform"],
+    "loads": [0.02, 0.03],
+    "allocs": ["GABL"],
+    "scheds": ["FCFS"],
+    "scale": "smoke",
+}
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = CampaignService(store=tmp_path / "shards")
+    server = make_server(svc, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(port=server.server_address[1])
+    yield svc, client
+    server.shutdown()
+    server.server_close()
+    svc.close()
+
+
+class TestDocuments:
+    def test_job_id_is_content_hash(self):
+        assert job_id(SCENARIO_DOC) == job_id(dict(SCENARIO_DOC))
+        assert job_id(SCENARIO_DOC) != job_id(SWEEP_DOC)
+
+    def test_build_scenario_campaign(self):
+        name, kind, campaign = build_campaign(SCENARIO_DOC)
+        assert (name, kind) == ("serve-test", "scenario")
+        assert len(campaign.points) == 1
+
+    def test_build_sweep_campaign(self):
+        name, kind, campaign = build_campaign(SWEEP_DOC)
+        assert (name, kind) == ("serve-sweep", "sweep")
+        assert len(campaign.points) == 2
+
+    def test_bad_documents_raise_value_error(self):
+        with pytest.raises(ValueError):
+            build_campaign({"kind": "sweep", "loads": [0.02]})  # no workloads
+        with pytest.raises(ValueError):
+            build_campaign({"kind": "sweep", "workloads": ["uniform"],
+                            "loads": [0.02], "bogus": 1})
+        with pytest.raises(ValueError):
+            build_campaign({"name": "x"})  # scenario missing keys
+        with pytest.raises(ValueError):
+            build_campaign([1, 2, 3])
+
+
+class TestServiceEndpoints:
+    def test_submit_wait_report(self, service):
+        svc, client = service
+        summary = client.submit(SCENARIO_DOC)
+        assert summary["total"] == 1
+        final = client.wait(summary["id"], interval=0.05, timeout=120)
+        assert final["state"] == "done"
+        assert final["done"] == 1
+        report = client.report(summary["id"])
+        assert report["schema"] == 3
+        assert len(report["points"]) == 1
+        assert report["points"][0]["metrics"]
+        assert report["job"]["state"] == "done"
+
+    def test_resubmit_is_idempotent(self, service):
+        svc, client = service
+        first = client.submit(SWEEP_DOC)
+        client.wait(first["id"], interval=0.05, timeout=120)
+        again = client.submit(dict(SWEEP_DOC))
+        assert again["id"] == first["id"]
+        assert again["state"] == "done"
+
+    def test_status_lists_jobs(self, service):
+        svc, client = service
+        jid = client.submit(SCENARIO_DOC)["id"]
+        client.wait(jid, interval=0.05, timeout=120)
+        status = client.status()
+        assert status["service"] == "repro-serve"
+        assert jid in {j["id"] for j in status["jobs"]}
+
+    def test_bad_submission_is_http_400(self, service):
+        svc, client = service
+        with pytest.raises(ServiceError, match="HTTP 400"):
+            client.submit({"name": "x", "bogus": True})
+
+    def test_unknown_job_is_http_404(self, service):
+        svc, client = service
+        with pytest.raises(ServiceError, match="HTTP 404"):
+            client.job("nope")
+        with pytest.raises(ServiceError, match="HTTP 404"):
+            client.report("nope")
+
+    def test_unreachable_service_raises(self):
+        client = ServiceClient(port=1, timeout=0.5)
+        with pytest.raises(ServiceError, match="no campaign service"):
+            client.status()
+
+    def test_restart_reconciles_done_job_from_store(self, tmp_path, service):
+        svc, client = service
+        jid = client.submit(SCENARIO_DOC)["id"]
+        client.wait(jid, interval=0.05, timeout=120)
+        # a fresh service over the same store recovers the manifest and
+        # marks the job done without recomputing anything
+        twin = CampaignService(store=svc.cache.path)
+        try:
+            job = twin.job(jid)
+            assert job is not None and job.state == "done"
+            report = twin.job_report(jid)
+            assert len(report["points"]) == 1
+        finally:
+            twin.close()
+
+
+# ------------------------------------------------- the restart drill (E2E)
+DRILL_DOC = {
+    "name": "drill",
+    "workload": "uniform",
+    "loads": [0.02, 0.025, 0.03, 0.035, 0.04, 0.045, 0.05, 0.055],
+    "allocs": ["GABL"],
+    "scheds": ["FCFS"],
+    "scale": "smoke",
+}
+
+
+def start_serve(store: Path) -> tuple[subprocess.Popen, int]:
+    """Start ``repro serve`` on an ephemeral port; returns (proc, port)."""
+    env = {**os.environ, "PYTHONPATH": SRC}
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", "0", "--store", str(store)],
+        env=env, cwd=str(REPO),
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    line = ""
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if "listening on" in line:
+            break
+    match = re.search(r"http://[\d.]+:(\d+)", line)
+    assert match, f"serve did not report its port: {line!r}"
+    return proc, int(match.group(1))
+
+
+def shard_files(store: Path) -> dict[str, tuple[int, int]]:
+    return {
+        p.name: (p.stat().st_mtime_ns, p.stat().st_size)
+        for p in store.glob("*.json")
+    }
+
+
+def test_restart_drill_sigkill_resume_and_match_foreground(tmp_path):
+    store = tmp_path / "shards"
+    scenario_file = tmp_path / "drill.json"
+    scenario_file.write_text(json.dumps(DRILL_DOC))
+
+    # 1. serve, submit, and SIGKILL once at least one point is flushed
+    proc, port = start_serve(store)
+    try:
+        client = ServiceClient(port=port)
+        jid = client.submit(DRILL_DOC)["id"]
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if shard_files(store):
+                break
+            time.sleep(0.01)
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    flushed = shard_files(store)
+
+    # 2. restart over the same store: the job resumes from the manifest
+    #    and completes without touching any flushed shard
+    proc, port = start_serve(store)
+    try:
+        client = ServiceClient(port=port)
+        final = client.wait(jid, interval=0.1, timeout=300)
+        assert final["state"] == "done"
+        assert final["done"] == len(DRILL_DOC["loads"])
+        report = client.report(jid)
+        client.shutdown()
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+    after = shard_files(store)
+    for name, stamp in flushed.items():
+        assert after[name] == stamp, f"flushed shard {name} was recomputed"
+    assert len(report["points"]) == len(DRILL_DOC["loads"])
+
+    # 3. metric-identical to a foreground run of the same spec, and
+    #    `repro diff` agrees (no regressed/diverged under the CI gate)
+    served_path = tmp_path / "served.json"
+    served_path.write_text(json.dumps(report))
+    fg_path = tmp_path / "foreground.json"
+    env = {
+        **os.environ,
+        "PYTHONPATH": SRC,
+        "REPRO_CACHE_DIR": str(tmp_path / "fg-cache"),
+    }
+    fg = subprocess.run(
+        [sys.executable, "-m", "repro", "scenario", str(scenario_file),
+         "--out", str(fg_path)],
+        env=env, cwd=str(REPO), capture_output=True, text=True, timeout=300,
+    )
+    assert fg.returncode == 0, fg.stderr
+    fg_metrics = {
+        p["key"]: p["metrics"]
+        for p in json.loads(fg_path.read_text())["points"]
+    }
+    served_metrics = {p["key"]: p["metrics"] for p in report["points"]}
+    assert served_metrics == fg_metrics
+    assert main([
+        "diff", str(fg_path), str(served_path), "--fail-on-regress",
+    ]) == 0
+
+
+# ------------------------------------------- diff subset degradation (CLI)
+def _write_report(tmp_path, name, points):
+    doc = {
+        "schema": 3, "kind": "campaign", "name": name,
+        "metric_names": ["mean_turnaround"], "points": points,
+    }
+    p = tmp_path / name
+    p.write_text(json.dumps(doc))
+    return p
+
+
+def _point(key):
+    return {
+        "key": key, "label": key,
+        "metrics": {"mean_turnaround": 1.0},
+        "stats": {"mean_turnaround": {"mean": 1.0, "variance": 0.0, "n": 2}},
+        "replications": 2,
+    }
+
+
+class TestDiffAgainstInProgressReports:
+    def test_empty_side_warns_and_exits_zero(self, tmp_path, capsys):
+        a = _write_report(tmp_path, "full.json", [_point("k1")])
+        b = _write_report(tmp_path, "empty.json", [])
+        assert main(["diff", str(a), str(b)]) == 0
+        err = capsys.readouterr().err
+        assert "no points yet" in err
+
+    def test_empty_side_still_fails_the_ci_gate(self, tmp_path, capsys):
+        a = _write_report(tmp_path, "full.json", [_point("k1")])
+        b = _write_report(tmp_path, "empty.json", [])
+        assert main(["diff", str(a), str(b), "--fail-on-regress"]) == 2
+
+    def test_disjoint_nonempty_reports_still_exit_two(self, tmp_path, capsys):
+        a = _write_report(tmp_path, "a.json", [_point("k1")])
+        b = _write_report(tmp_path, "b.json", [_point("k2")])
+        assert main(["diff", str(a), str(b)]) == 2
+
+    def test_strict_subset_aligns_with_warning(self, tmp_path, capsys):
+        a = _write_report(tmp_path, "full.json", [_point("k1"), _point("k2")])
+        b = _write_report(tmp_path, "partial.json", [_point("k1")])
+        assert main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr()
+        assert "1 matched point" in out.out
