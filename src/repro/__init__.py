@@ -42,7 +42,7 @@ from repro.core.simulator import Simulator
 from repro.mesh import Coord, MeshGrid, SubMesh
 from repro.sched import FCFSScheduler, SSDScheduler, make_scheduler
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "Allocation",

@@ -49,6 +49,7 @@ from repro.experiments.campaign import Campaign
 from repro.experiments.figures import FIGURES
 from repro.experiments.report import ascii_plot, format_figure, summarize_point
 from repro.experiments.runner import SCALES, default_scale, run_figure, run_point
+from repro.network.arq import ARQ_PROTOCOLS
 from repro.workload.swf import load_swf
 from repro.workload.transforms import SpecError
 
@@ -193,6 +194,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "runs)",
     )
     p.add_argument(
+        "--channel",
+        default=None,
+        metavar="SPEC",
+        help="lossy interconnect channel policy, e.g. 'loss:0.05 + "
+        "delay:exp:0.1' (terms: loss:P, corrupt:P, delay:fixed:T, "
+        "delay:exp:MEAN, delay:uniform:LO:HI). Default: perfect links. "
+        "A policy that can fail packets requires --arq",
+    )
+    p.add_argument(
+        "--arq",
+        choices=ARQ_PROTOCOLS,
+        default=None,
+        help="retransmission protocol recovering channel losses "
+        "(inert without a lossy --channel)",
+    )
+    p.add_argument(
         "--swf",
         default=None,
         help="replay this SWF trace file for the real workload",
@@ -222,6 +239,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--scheds", default="FCFS", help="sweep: comma-separated schedulers"
+    )
+    p.add_argument(
+        "--channels",
+        default=None,
+        help="sweep: comma-separated channel policy specs forming a "
+        "lossy-interconnect grid axis (e.g. 'loss:0,loss:0.05,loss:0.15')",
+    )
+    p.add_argument(
+        "--arqs",
+        default=None,
+        help="sweep: comma-separated ARQ protocols crossed with --channels",
     )
     # 'scenario' / 'sweep' / 'diff' options
     p.add_argument(
@@ -378,6 +406,10 @@ def _run_scenarios(files: Sequence[str], args, trace) -> int:
                 config_overrides["topology"] = args.topology
             if args.engine is not None:
                 config_overrides["engine"] = args.engine
+            if args.channel is not None:
+                config_overrides["channel"] = args.channel
+            if args.arq is not None:
+                config_overrides["arq"] = args.arq
             if config_overrides:
                 overrides["config"] = {**scenario.config, **config_overrides}
             if overrides:
@@ -684,6 +716,12 @@ def _run_sweep(args, scale, config, trace) -> int:
     except ValueError:
         print(f"bad --loads value {args.loads!r}", file=sys.stderr)
         return 2
+    channels: tuple[str | None, ...] = (None,)
+    if args.channels is not None:
+        channels = tuple(x.strip() for x in args.channels.split(",") if x.strip())
+    arqs: tuple[str | None, ...] = (None,)
+    if args.arqs is not None:
+        arqs = tuple(x.strip() for x in args.arqs.split(",") if x.strip())
     try:
         campaign = Campaign.sweep(
             workloads=tuple(x.strip() for x in args.workloads.split(",") if x),
@@ -692,9 +730,13 @@ def _run_sweep(args, scale, config, trace) -> int:
             scheds=tuple(x for x in args.scheds.split(",") if x),
             scale=scale, config=config,
             network_mode=args.network_mode, trace=trace,
+            channels=channels, arqs=arqs,
         )
     except SpecError as exc:
         print(f"bad workload spec: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"bad --channels/--arqs axis: {exc}", file=sys.stderr)
         return 2
     print(f"sweep: {len(campaign.points)} unique points, "
           f"scale={scale}, jobs={args.jobs}")
@@ -727,10 +769,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
     scale = args.scale or default_scale()
-    config = PAPER_CONFIG.with_(
-        topology=args.topology or "mesh",
-        engine=args.engine or "reference",
-    )
+    try:
+        config = PAPER_CONFIG.with_(
+            topology=args.topology or "mesh",
+            engine=args.engine or "reference",
+            channel=args.channel,
+            arq=args.arq,
+        )
+    except ValueError as exc:
+        print(f"bad --channel/--arq: {exc}", file=sys.stderr)
+        return 2
     trace = None
     if args.swf:
         trace = load_swf(args.swf, max_size=PAPER_CONFIG.processors)

@@ -78,6 +78,15 @@ class SimConfig:
     # --- execution engine (see repro.core.soa; results are identical)
     engine: str = "reference"  #: "reference" (per-run loop) or "soa" (lockstep)
 
+    # --- lossy interconnect (see repro.network.channel)
+    #: channel policy spec (e.g. ``"loss:0.05 + delay:exp:0.1"``) or None
+    #: for the paper's perfect links; stored in canonical form.  A policy
+    #: that can fail packets requires :attr:`arq`.
+    channel: str | None = None
+    #: ARQ retransmission protocol: "stop-and-wait", "go-back-n" or
+    #: "selective-repeat" (inert unless :attr:`channel` can fail packets)
+    arq: str | None = None
+
     def __post_init__(self) -> None:
         if self.width <= 0 or self.length <= 0:
             raise ValueError("mesh dimensions must be positive")
@@ -106,6 +115,26 @@ class SimConfig:
             raise ValueError("jobs must be positive")
         if not 0 <= self.warmup_jobs < self.jobs:
             raise ValueError("warmup_jobs must be in [0, jobs)")
+        if self.channel is not None or self.arq is not None:
+            # lazy import: the channel grammar lives with the network
+            # layer; configs without a channel never touch it
+            from repro.network.arq import ARQ_PROTOCOLS
+            from repro.network.channel import parse_channel
+
+            if self.arq is not None and self.arq not in ARQ_PROTOCOLS:
+                raise ValueError(
+                    f"unknown ARQ protocol {self.arq!r}; "
+                    f"choose from {ARQ_PROTOCOLS}"
+                )
+            if self.channel is not None:
+                policy = parse_channel(self.channel)
+                if policy.failure_rate > 0.0 and self.arq is None:
+                    raise ValueError(
+                        f"channel {policy.spec()!r} can fail packets and "
+                        f"needs an ARQ protocol (arq=...; choose from "
+                        f"{ARQ_PROTOCOLS})"
+                    )
+                object.__setattr__(self, "channel", policy.spec())
 
     @property
     def processors(self) -> int:

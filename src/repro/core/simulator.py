@@ -77,17 +77,34 @@ class Simulator:
             t_s=config.t_s,
             p_len=config.p_len,
         )
+        self.seed = config.seed if seed is None else seed
+        channel = None
+        if config.channel is not None:
+            from repro.network.channel import ChannelModel, parse_channel
+
+            policy = parse_channel(config.channel)
+            if not policy.trivial:
+                # seeded off the run's lane seed on an independent
+                # sub-stream, so the workload draws are untouched and the
+                # same seed reproduces the same fates everywhere
+                channel = ChannelModel(
+                    policy,
+                    config.arq,
+                    self.seed,
+                    config.p_len,
+                    config.round_gap_factor * config.p_len,
+                )
         self.traffic = AllToAllTraffic(
             self.network,
             self.engine,
             round_gap=config.round_gap_factor * config.p_len,
+            channel=channel,
         )
         self.metrics = Metrics(
             config.processors, warmup_jobs=config.warmup_jobs, keep_jobs=keep_jobs
         )
         #: lifecycle observers; metrics always first so aggregates exist
         self.observers: tuple[SimObserver, ...] = (self.metrics, *observers)
-        self.seed = config.seed if seed is None else seed
         self._jobs: Iterator[Job] | None = None
         self._done = False
         self._arrived = 0

@@ -51,11 +51,15 @@ def native_supported(sim: Simulator) -> bool:
     Paging(0) / MBS under FCFS / SSD with the batch network backend --
     with default strategy options.  Anything else (other allocators,
     rotation disabled, non-row-major paging, extra observers, per-job
-    records) falls back to the lockstep reference path.
+    records) falls back to the lockstep reference path.  An active lossy
+    channel (``config.channel``) always falls back: ARQ retransmissions
+    run only through the reference per-packet path.
     """
     if native.load_kernel() is None:
         return False
     if sim.network.mode != "batch":
+        return False
+    if sim.traffic.channel is not None:
         return False
     if len(sim.observers) != 1 or sim.metrics.keep_jobs:
         return False

@@ -381,6 +381,10 @@ class PointSpec:
         # construction, see repro.core.soa), so both engines must read
         # and write the same cache cell
         cfg.pop("engine", None)
+        # channel/arq join the key only when a channel is set, so every
+        # pre-channel cache cell and golden fixture stays addressable
+        channel = cfg.pop("channel", None)
+        arq = cfg.pop("arq", None)
         payload = {
             "workload": self.workload,
             "load": self.load,
@@ -392,14 +396,22 @@ class PointSpec:
             "replications": [lo, hi],
             "config": cfg,
         }
+        if channel is not None:
+            payload["channel"] = channel
+            payload["arq"] = arq
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     def label(self) -> str:
         """Short human-readable form for progress output."""
-        return (
+        base = (
             f"{self.workload} load={self.load:g} "
             f"{self.alloc}({self.sched})"
         )
+        channel = self.run_config.channel
+        if channel is not None:
+            arq = self.run_config.arq
+            base += f" ch={channel}" + (f"/{arq}" if arq else "")
+        return base
 
     def controller(self) -> ReplicationController:
         """A fresh replication controller honouring this spec's bounds."""
@@ -840,15 +852,30 @@ class Campaign:
         config: SimConfig = PAPER_CONFIG,
         network_mode: str | None = None,
         trace: Sequence[TraceJob] | None = None,
+        channels: Sequence[str | None] = (None,),
+        arqs: Sequence[str | None] = (None,),
     ) -> "Campaign":
-        """A user-defined full-factorial grid sweep."""
+        """A user-defined full-factorial grid sweep.
+
+        ``channels``/``arqs`` add lossy-interconnect axes: each entry is
+        a channel policy spec / ARQ protocol applied through the point's
+        config (``None`` keeps the config's own setting).
+        """
         sc = Scale.by_name(scale) if isinstance(scale, str) else scale
         source = trace_fingerprint(trace) if trace is not None else "sdsc"
+        configs = [
+            config if ch is None and aq is None else config.with_(
+                channel=config.channel if ch is None else ch,
+                arq=config.arq if aq is None else aq,
+            )
+            for ch in channels for aq in arqs
+        ]
         specs = [
             PointSpec(
                 workload=w, load=ld, alloc=a, sched=s, scale=sc,
-                config=config, network_mode=network_mode, trace_source=source,
+                config=cfg, network_mode=network_mode, trace_source=source,
             )
+            for cfg in configs
             for w in workloads for ld in loads for a in allocs for s in scheds
         ]
         return cls(specs, trace=trace)

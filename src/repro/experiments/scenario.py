@@ -62,7 +62,7 @@ from repro.experiments.report import summarize_point
 #: keys accepted by a scenario dict/JSON document
 _SCENARIO_KEYS = frozenset({
     "name", "workload", "loads", "allocs", "scheds", "scale", "config",
-    "network_mode", "sample_interval",
+    "network_mode", "sample_interval", "channels", "arqs",
 })
 
 
@@ -82,6 +82,12 @@ class Scenario:
     network_mode: str | None = None
     #: trajectory sample interval in sim-time units; ``None`` disables
     sample_interval: float | None = None
+    #: lossy-channel grid axis: channel policy specs applied per point
+    #: (``None`` entries keep the config override's own ``channel``)
+    channels: tuple[str | None, ...] = (None,)
+    #: ARQ grid axis crossed with :attr:`channels` (``None`` entries keep
+    #: the config override's own ``arq``)
+    arqs: tuple[str | None, ...] = (None,)
 
     def __post_init__(self) -> None:
         # every field is validated eagerly -- and with ValueError -- so a
@@ -120,7 +126,14 @@ class Scenario:
             raise ValueError(
                 f"sample_interval must be positive, got {self.sample_interval}"
             )
-        self.sim_config()  # reject unknown/invalid config overrides now
+        self.channels = tuple(self.channels)
+        self.arqs = tuple(self.arqs)
+        if not self.channels or not self.arqs:
+            raise ValueError(
+                "scenario channels/arqs need at least one entry (use [null] "
+                "for the perfect-interconnect default)"
+            )
+        self.grid_configs()  # reject unknown/invalid config overrides now
 
     # -------------------------------------------------------- serialization
     @classmethod
@@ -161,6 +174,12 @@ class Scenario:
         }
         if self.sample_interval is not None:
             out["sample_interval"] = self.sample_interval
+        # only non-default axes are serialized, keeping the fingerprints
+        # of every pre-channel scenario document unchanged
+        if self.channels != (None,):
+            out["channels"] = list(self.channels)
+        if self.arqs != (None,):
+            out["arqs"] = list(self.arqs)
         return out
 
     def fingerprint(self) -> str:
@@ -180,6 +199,21 @@ class Scenario:
                 f"valid SimConfig fields: {fields}"
             ) from None
 
+    def grid_configs(self) -> tuple[SimConfig, ...]:
+        """One run config per ``channels`` x ``arqs`` grid cell.
+
+        ``None`` axis entries keep the corresponding ``config`` override
+        (so the default ``[null]`` axes collapse to :meth:`sim_config`).
+        """
+        base = self.sim_config()
+        return tuple(
+            base if ch is None and aq is None else base.with_(
+                channel=base.channel if ch is None else ch,
+                arq=base.arq if aq is None else aq,
+            )
+            for ch in self.channels for aq in self.arqs
+        )
+
     def points(
         self, trace: Sequence[TraceJob] | None = None
     ) -> tuple[PointSpec, ...]:
@@ -191,7 +225,6 @@ class Scenario:
         cache cell exactly when the cell's simulation inputs coincide.
         """
         sc = Scale.by_name(self.scale)
-        cfg = self.sim_config()
         source = trace_fingerprint(trace) if trace is not None else "sdsc"
         return tuple(
             PointSpec(
@@ -199,6 +232,7 @@ class Scenario:
                 scale=sc, config=cfg, network_mode=self.network_mode,
                 trace_source=source,
             )
+            for cfg in self.grid_configs()
             for load in self.loads
             for alloc in self.allocs
             for sched in self.scheds

@@ -30,6 +30,13 @@ from repro.network.wormhole import (
     WormholeNetwork,
 )
 from repro.network.batch import BatchBackend
+from repro.network.arq import ARQ_PROTOCOLS, FlowArq
+from repro.network.channel import (
+    ChannelModel,
+    ChannelPolicy,
+    canonical_channel,
+    parse_channel,
+)
 from repro.network.traffic import (
     AllToAllTraffic,
     destination_offsets,
@@ -57,4 +64,10 @@ __all__ = [
     "AllToAllTraffic",
     "destination_offsets",
     "destination_schedule",
+    "ARQ_PROTOCOLS",
+    "FlowArq",
+    "ChannelModel",
+    "ChannelPolicy",
+    "canonical_channel",
+    "parse_channel",
 ]

@@ -1,0 +1,482 @@
+"""Lossy interconnect channels under the transport backends.
+
+The paper's wormhole model assumes lossless links.  A
+:class:`ChannelPolicy` makes every packet *attempt* unreliable: it may
+be dropped in flight, corrupted (fails its CRC at the ejection channel),
+or delivered late.  Policies are written in a small spec grammar --
+``+``-joined terms, whitespace-insensitive::
+
+    loss:P                  drop each attempt with probability P
+    corrupt:P               corrupt each attempt with probability P
+    delay:fixed:T           add T time units to every delivery
+    delay:exp:MEAN          add Exp(MEAN)-distributed extra latency
+    delay:uniform:LO:HI     add U(LO, HI)-distributed extra latency
+
+e.g. ``"loss:0.05 + delay:exp:0.1"``.  Lost and corrupted attempts
+behave identically here: the worm still *occupies its full path* (the
+reservation is made before the fate is known), consuming bandwidth, but
+is never accepted by the receiver -- so loss and corruption compose into
+one failure probability ``1 - (1-loss)(1-corrupt)``.  Recovery is the
+ARQ protocol's job (:mod:`repro.network.arq`); a policy with a positive
+failure rate therefore requires ``SimConfig.arq`` to be set.
+
+**RNG seeding contract.**  Channel fates and delays are drawn from a
+dedicated generator, ``default_rng((CHANNEL_STREAM, seed))``, a pure
+function of the run's lane seed -- *not* from the workload's
+``default_rng(seed)`` stream.  Enabling a channel therefore never
+perturbs arrival times or job shapes, the per-run draw sequence is
+deterministic, and the same seed reproduces the same fates under the
+serial, thread and process executors alike.
+
+**Trivial policies.**  ``"loss:0"`` (and any policy with zero failure
+probability and no delay) is *trivial*: the simulator skips the channel
+machinery entirely, so it is bit-identical to running with no channel at
+all, across every backend and engine.  Non-trivial policies break the
+bit-exact cross-backend invariant by design; equivalence is then gated
+statistically (``tests/statgate.py``).
+
+Per-packet *latency* spans from the first attempt's injection to the
+accepted attempt's arrival; *blocking* sums the contention stalls of
+every attempt, including failed ones.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.config import TIME_GRID
+from repro.network.arq import ARQ_PROTOCOLS, FlowArq
+from repro.network.backend import PathTiming, RoundStats
+
+#: sub-stream tag ("CHNL") keeping channel draws off the workload stream
+CHANNEL_STREAM = 0x43484E4C
+
+_DELAY_KINDS = ("fixed", "exp", "uniform")
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelPolicy:
+    """Per-link unreliability: drop/corrupt probabilities + extra delay."""
+
+    loss: float = 0.0  #: per-attempt drop probability
+    corrupt: float = 0.0  #: per-attempt corruption (CRC-failure) probability
+    #: extra-delay distribution: ``()`` for none, ``("fixed", t)``,
+    #: ``("exp", mean)`` or ``("uniform", lo, hi)``
+    delay: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError(f"loss probability must be in [0, 1): {self.loss}")
+        if not 0.0 <= self.corrupt < 1.0:
+            raise ValueError(
+                f"corrupt probability must be in [0, 1): {self.corrupt}"
+            )
+        if self.delay:
+            kind = self.delay[0]
+            if kind == "fixed":
+                if len(self.delay) != 2 or self.delay[1] < 0:
+                    raise ValueError(f"delay:fixed needs one value >= 0: {self.delay}")
+            elif kind == "exp":
+                if len(self.delay) != 2 or self.delay[1] <= 0:
+                    raise ValueError(f"delay:exp needs a positive mean: {self.delay}")
+            elif kind == "uniform":
+                if len(self.delay) != 3 or not 0 <= self.delay[1] <= self.delay[2]:
+                    raise ValueError(
+                        f"delay:uniform needs 0 <= lo <= hi: {self.delay}"
+                    )
+            else:
+                raise ValueError(
+                    f"unknown delay kind {kind!r}; choose from {_DELAY_KINDS}"
+                )
+
+    @property
+    def failure_rate(self) -> float:
+        """Combined per-attempt failure probability."""
+        return 1.0 - (1.0 - self.loss) * (1.0 - self.corrupt)
+
+    @property
+    def trivial(self) -> bool:
+        """True when the policy cannot affect any packet."""
+        if self.failure_rate > 0.0:
+            return False
+        return not self.delay or (self.delay[0] == "fixed" and self.delay[1] == 0)
+
+    def spec(self) -> str:
+        """Canonical spec string (parse -> spec round-trips).
+
+        Every trivial policy -- any spelling the simulator would skip --
+        canonicalises to ``"loss:0"``, so trivial configs cannot alias
+        into distinct cache keys.
+        """
+        if self.trivial:
+            return "loss:0"
+        parts = []
+        if self.loss:
+            parts.append(f"loss:{self.loss:g}")
+        if self.corrupt:
+            parts.append(f"corrupt:{self.corrupt:g}")
+        if self.delay:
+            parts.append(
+                "delay:" + ":".join(
+                    [self.delay[0]] + [f"{v:g}" for v in self.delay[1:]]
+                )
+            )
+        return "+".join(parts) if parts else "loss:0"
+
+
+def parse_channel(spec: str) -> ChannelPolicy:
+    """Parse a channel spec string (see module docstring for the grammar)."""
+    loss = corrupt = None
+    delay: tuple | None = None
+    for term in str(spec).split("+"):
+        parts = [p.strip() for p in term.split(":")]
+        head = parts[0]
+        if head == "loss" or head == "corrupt":
+            if len(parts) != 2:
+                raise ValueError(f"channel term {term.strip()!r}: expected {head}:P")
+            try:
+                p = float(parts[1])
+            except ValueError:
+                raise ValueError(
+                    f"channel term {term.strip()!r}: {parts[1]!r} is not a number"
+                ) from None
+            if (loss if head == "loss" else corrupt) is not None:
+                raise ValueError(f"duplicate channel term {head!r} in {spec!r}")
+            if head == "loss":
+                loss = p
+            else:
+                corrupt = p
+        elif head == "delay":
+            if delay is not None:
+                raise ValueError(f"duplicate channel term 'delay' in {spec!r}")
+            if len(parts) < 3 or parts[1] not in _DELAY_KINDS:
+                raise ValueError(
+                    f"channel term {term.strip()!r}: expected "
+                    f"delay:{{{'|'.join(_DELAY_KINDS)}}}:PARAMS"
+                )
+            try:
+                args = tuple(float(p) for p in parts[2:])
+            except ValueError:
+                raise ValueError(
+                    f"channel term {term.strip()!r}: non-numeric delay parameter"
+                ) from None
+            delay = (parts[1], *args)
+        else:
+            raise ValueError(
+                f"unknown channel term {term.strip()!r} in {spec!r}; "
+                f"expected loss:P, corrupt:P or delay:KIND:PARAMS"
+            )
+    return ChannelPolicy(
+        loss=loss or 0.0, corrupt=corrupt or 0.0, delay=delay or ()
+    )
+
+
+def canonical_channel(spec: str) -> str:
+    """Normalised form of a channel spec (stable cache-key component)."""
+    return parse_channel(spec).spec()
+
+
+class ChannelSampler:
+    """Per-run channel RNG: packet fates and extra delays.
+
+    Draw order is one fate draw per attempt (when the failure rate is
+    positive) plus one delay draw per *successful* attempt (when a delay
+    distribution is configured) -- a deterministic sequence given the
+    run's event order.
+    """
+
+    __slots__ = ("policy", "rng", "_failure")
+
+    def __init__(self, policy: ChannelPolicy, seed: int) -> None:
+        self.policy = policy
+        self.rng = np.random.default_rng((CHANNEL_STREAM, int(seed) % 2**63))
+        self._failure = policy.failure_rate
+
+    def fate(self) -> bool:
+        """True when the attempt survives the channel intact."""
+        if self._failure == 0.0:
+            return True
+        return self.rng.random() >= self._failure
+
+    def delay(self) -> float:
+        """Extra delivery latency of a surviving attempt (grid-quantised)."""
+        delay = self.policy.delay
+        if not delay:
+            return 0.0
+        kind = delay[0]
+        if kind == "fixed":
+            d = delay[1]
+        elif kind == "exp":
+            d = self.rng.exponential(delay[1])
+        else:  # uniform
+            d = self.rng.uniform(delay[1], delay[2])
+        return round(d * TIME_GRID) / TIME_GRID
+
+
+class ChannelModel:
+    """A policy + ARQ protocol bound to one run's seed.
+
+    Built by the simulator when ``config.channel`` is non-trivial; holds
+    the per-run :class:`ChannelSampler` and the timing constants shared
+    by every launch of the run.  The loss-detection timeout is two round
+    gaps (one round out, one ack back); resend streams are spaced one
+    packet-injection time (``p_len``) apart.
+    """
+
+    __slots__ = ("policy", "arq", "sampler", "timeout", "spacing")
+
+    def __init__(
+        self, policy: ChannelPolicy, arq: str, seed: int, p_len: int,
+        round_gap: float,
+    ) -> None:
+        if policy.failure_rate > 0.0 and arq not in ARQ_PROTOCOLS:
+            raise ValueError(
+                f"channel {policy.spec()!r} can fail packets and needs an "
+                f"ARQ protocol; choose from {ARQ_PROTOCOLS}"
+            )
+        self.policy = policy
+        self.arq = arq if arq in ARQ_PROTOCOLS else "selective-repeat"
+        self.sampler = ChannelSampler(policy, seed)
+        self.timeout = 2.0 * round_gap
+        self.spacing = float(p_len)
+
+    def flow(self, total: int) -> FlowArq:
+        """New per-source flow state machine for a launch of ``total`` rounds."""
+        return FlowArq(self.arq, total, self.timeout, self.spacing)
+
+
+@dataclass(slots=True)
+class LaunchResult:
+    """Resolved outcome of one channelled launch (synchronous path)."""
+
+    stats: RoundStats
+    #: per-flow acceptance times: ``accepts[i][seq]``
+    accepts: list[dict[int, float]] = field(default_factory=list)
+    #: total physical transmission attempts (originals + resends)
+    attempts: int = 0
+
+
+_SEND, _ARRIVE, _FAIL = 0, 1, 2
+
+
+def resolve_launch(
+    transmit: Callable[[object, object, float], PathTiming],
+    model: ChannelModel,
+    coords: Sequence,
+    offsets: Sequence[int],
+    now: float,
+    round_gap: float,
+) -> LaunchResult:
+    """Resolve a whole channelled launch over a synchronous backend.
+
+    Runs a small time-ordered event loop around per-packet ``transmit``
+    calls: original sends follow the application's round schedule
+    (round-major, source-minor -- the same FIFO order as the lossless
+    ``inject_rounds`` path), failed attempts surface as sender timeouts,
+    and the ARQ protocol's retransmissions re-enter the send queue until
+    every flow's packets are accepted.
+    """
+    n = len(coords)
+    total = len(offsets)
+    flows = [model.flow(total) for _ in range(n)]
+    first_inject: list[dict[int, float]] = [{} for _ in range(n)]
+    sampler = model.sampler
+    timeout = model.timeout
+    blocking_sum = 0.0
+    attempts = 0
+
+    heap: list[tuple[float, int, int, int, int, float]] = []
+    ctr = 0
+    for k in range(total):
+        t = now + k * round_gap
+        for i in range(n):
+            heap.append((t, ctr, _SEND, i, k, 0.0))
+            ctr += 1
+    heapq.heapify(heap)
+
+    while heap:
+        t, _, kind, i, k, aux = heapq.heappop(heap)
+        flow = flows[i]
+        if kind == _SEND:
+            if not flow.should_send(k):
+                continue
+            attempts += 1
+            timing = transmit(coords[i], coords[(i + offsets[k]) % n], t)
+            fi = first_inject[i]
+            if k not in fi:
+                fi[k] = timing.t_inject
+            blocking_sum += timing.blocking
+            if sampler.fate():
+                arrive = timing.t_deliver + sampler.delay()
+                ctr += 1
+                heapq.heappush(
+                    heap, (arrive, ctr, _ARRIVE, i, k, timing.t_inject)
+                )
+            else:
+                ctr += 1
+                heapq.heappush(
+                    heap,
+                    (timing.t_inject + flow.detect_delay(k), ctr, _FAIL, i, k, 0.0),
+                )
+        elif kind == _ARRIVE:
+            if flow.on_arrival(k, t) or k in flow.accepted:
+                continue  # accepted now, or a duplicate of an earlier accept
+            # go-back-n out-of-order discard: the sender finds out via its
+            # own (cumulative-ack) timeout for this attempt
+            td = aux + flow.detect_delay(k)
+            ctr += 1
+            heapq.heappush(heap, (td if td > t else t, ctr, _FAIL, i, k, 0.0))
+        else:  # _FAIL
+            for t_send, s in flow.on_failure(k, t):
+                ctr += 1
+                heapq.heappush(heap, (t_send, ctr, _SEND, i, s, 0.0))
+            if k not in flow.accepted and k not in flow.pending:
+                # still unrecovered but outside the current resend window
+                # (go-back-n): the retransmission timer re-arms until the
+                # window slides over it
+                ctr += 1
+                heapq.heappush(
+                    heap, (t + flow.detect_delay(k), ctr, _FAIL, i, k, 0.0)
+                )
+
+    latency_sum = 0.0
+    last = now
+    for i, flow in enumerate(flows):
+        assert flow.done, "channelled launch drained with undelivered packets"
+        fi = first_inject[i]
+        for k, ta in flow.accepted.items():
+            latency_sum += ta - fi[k]
+            if ta > last:
+                last = ta
+    stats = RoundStats(
+        packets=n * total,
+        latency_sum=latency_sum,
+        blocking_sum=blocking_sum,
+        last_delivery=last,
+    )
+    return LaunchResult(
+        stats=stats, accepts=[f.accepted for f in flows], attempts=attempts
+    )
+
+
+class ChannelledEventLaunch:
+    """Per-launch ARQ driver over an event-driven backend (causal/sfb).
+
+    Mirrors :func:`resolve_launch`, but the simulation engine is the
+    event loop: fates are drawn in each packet's delivery callback,
+    failures schedule sender-timeout events, and retransmissions go back
+    through ``network.send`` at their planned times.
+    """
+
+    __slots__ = (
+        "network", "engine", "model", "job", "coords", "offsets",
+        "on_complete", "flows", "first_inject", "blocking", "remaining",
+        "priority",
+    )
+
+    def __init__(
+        self, network, engine, model: ChannelModel, job, coords,
+        offsets: Sequence[int], now: float, round_gap: float, on_complete,
+        priority,
+    ) -> None:
+        n = len(coords)
+        self.network = network
+        self.engine = engine
+        self.model = model
+        self.job = job
+        self.coords = coords
+        self.offsets = list(offsets)
+        self.on_complete = on_complete
+        self.flows = [model.flow(len(offsets)) for _ in range(n)]
+        self.first_inject: list[dict[int, float]] = [{} for _ in range(n)]
+        self.blocking: list[dict[int, float]] = [{} for _ in range(n)]
+        self.remaining = n * len(offsets)
+        job.pending_packets = self.remaining
+        self.priority = priority
+        for k in range(len(offsets)):
+            if k == 0:
+                self._send_round(0)
+            else:
+                engine.schedule_at(
+                    now + k * round_gap, self._send_round, k, priority=priority
+                )
+
+    def _send_round(self, k: int) -> None:
+        for i in range(len(self.coords)):
+            self._send(i, k)
+
+    def _send(self, i: int, k: int) -> None:
+        flow = self.flows[i]
+        if not flow.should_send(k):
+            return
+        dst = self.coords[(i + self.offsets[k]) % len(self.coords)]
+        self.network.send(
+            self.coords[i],
+            dst,
+            self.engine.now,
+            lambda timing, i=i, k=k: self._delivered(i, k, timing),
+        )
+
+    def _delivered(self, i: int, k: int, timing: PathTiming) -> None:
+        fi = self.first_inject[i]
+        if k not in fi:
+            fi[k] = timing.t_inject
+        blk = self.blocking[i]
+        blk[k] = blk.get(k, 0.0) + timing.blocking
+        sampler = self.model.sampler
+        if sampler.fate():
+            extra = sampler.delay()
+            if extra > 0.0:
+                self.engine.schedule_at(
+                    timing.t_deliver + extra,
+                    self._arrive, i, k, timing.t_inject,
+                    priority=self.priority,
+                )
+            else:
+                self._arrive(i, k, timing.t_inject)
+        else:
+            td = timing.t_inject + self.flows[i].detect_delay(k)
+            now = self.engine.now
+            self.engine.schedule_at(
+                td if td > now else now,
+                self._fail, i, k,
+                priority=self.priority,
+            )
+
+    def _arrive(self, i: int, k: int, t_inject: float) -> None:
+        flow = self.flows[i]
+        now = self.engine.now
+        if flow.on_arrival(k, now):
+            self.job.record_packet(
+                now - self.first_inject[i][k], self.blocking[i][k]
+            )
+            self.job.pending_packets -= 1
+            self.remaining -= 1
+            if self.remaining == 0:
+                self.on_complete(self.job)
+            return
+        if k in flow.accepted:
+            return  # duplicate
+        td = t_inject + flow.detect_delay(k)
+        if td > now:
+            self.engine.schedule_at(td, self._fail, i, k, priority=self.priority)
+        else:
+            self._fail(i, k)
+
+    def _fail(self, i: int, k: int) -> None:
+        flow = self.flows[i]
+        now = self.engine.now
+        for t_send, s in flow.on_failure(k, now):
+            self.engine.schedule_at(
+                t_send, self._send, i, s, priority=self.priority
+            )
+        if k not in flow.accepted and k not in flow.pending:
+            # go-back-n: timer re-arms until the window covers this seq
+            self.engine.schedule_at(
+                now + flow.detect_delay(k), self._fail, i, k,
+                priority=self.priority,
+            )

@@ -1,0 +1,114 @@
+"""Statistical-equivalence gate for stochastic simulation outputs.
+
+Non-trivial channel policies break the repo's bit-exact cross-backend
+invariant *by design*: different backends interleave channel-RNG draws
+differently, so the same physical configuration yields different sample
+paths.  What must still hold is **distributional** equivalence -- two
+implementations of the same model, fed disjoint seed sets, must be
+statistically indistinguishable on every reported metric.
+
+This module is that gate.  It builds on the production comparison
+machinery (:mod:`repro.stats.compare`): metrics are summarised with
+:class:`~repro.stats.compare.MetricSummary` and judged by
+:func:`~repro.stats.compare.compare_metric`'s Welch verdicts, so tests
+and the ``repro diff`` CI gate share one definition of "same".
+
+Usage::
+
+    a = replicate(lambda seed: run_spec_replication(spec_a, seed), seeds_a)
+    b = replicate(lambda seed: run_spec_replication(spec_b, seed), seeds_b)
+    assert_statistically_identical(a, b, alpha=0.01)
+
+The replication driver is deterministic: seeds are explicit, ordered,
+and threaded straight through to the runs, so a failing comparison
+reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.stats.compare import (
+    IMPROVED,
+    REGRESSED,
+    MetricComparison,
+    MetricSummary,
+    compare_metric,
+)
+
+
+def replicate(
+    run: Callable[[int], Mapping[str, float]],
+    seeds: Sequence[int],
+) -> dict[str, MetricSummary]:
+    """Run ``run(seed)`` for every seed and summarise each metric.
+
+    ``run`` returns a metric-name -> value mapping (e.g.
+    :func:`repro.experiments.campaign.run_spec_replication`).  Every
+    replication must report the same metric set; seeds are executed in
+    the order given, so the driver is fully deterministic.
+    """
+    if not seeds:
+        raise ValueError("replicate needs at least one seed")
+    values: dict[str, list[float]] = {}
+    names: tuple[str, ...] | None = None
+    for seed in seeds:
+        metrics = run(seed)
+        got = tuple(metrics)
+        if names is None:
+            names = got
+            values = {name: [] for name in names}
+        elif set(got) != set(names):
+            raise ValueError(
+                f"seed {seed} reported metrics {sorted(got)}, "
+                f"expected {sorted(names)}"
+            )
+        for name in names:
+            values[name].append(float(metrics[name]))
+    return {name: MetricSummary.from_values(v) for name, v in values.items()}
+
+
+def assert_statistically_identical(
+    a: Mapping[str, MetricSummary],
+    b: Mapping[str, MetricSummary],
+    alpha: float = 0.01,
+    rel_tol: float = 0.0,
+    metrics: Sequence[str] | None = None,
+) -> list[MetricComparison]:
+    """Assert no metric of ``b`` differs *directionally* from ``a``.
+
+    Each shared metric goes through
+    :func:`~repro.stats.compare.compare_metric` at significance
+    ``alpha`` with relative dead band ``rel_tol``; any ``improved`` or
+    ``regressed`` verdict fails the assertion (equivalence gating is
+    two-sided -- a statistically significant *improvement* is still a
+    divergence between supposedly identical implementations).
+    ``identical`` and ``indistinguishable`` both pass.
+
+    ``metrics`` restricts the comparison to a subset; by default every
+    metric of ``a`` is checked and must be present in ``b``.  Returns
+    the full comparison list so callers can report or log the evidence.
+    """
+    names = tuple(metrics) if metrics is not None else tuple(a)
+    missing = [n for n in names if n not in a or n not in b]
+    if missing:
+        raise ValueError(f"metrics absent from a summary side: {missing}")
+    comparisons = [
+        compare_metric(name, a[name], b[name], alpha=alpha, rel_tol=rel_tol)
+        for name in names
+    ]
+    failures = [
+        c for c in comparisons if c.verdict in (IMPROVED, REGRESSED)
+    ]
+    if failures:
+        lines = [
+            f"  {c.metric}: {c.verdict} "
+            f"(a={c.a.mean:.6g} n={c.a.n}, b={c.b.mean:.6g} n={c.b.n}, "
+            f"delta={c.delta:+.6g}, p={c.p_value})"
+            for c in failures
+        ]
+        raise AssertionError(
+            f"{len(failures)} metric(s) statistically distinct "
+            f"at alpha={alpha}:\n" + "\n".join(lines)
+        )
+    return comparisons

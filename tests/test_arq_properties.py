@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) of the ARQ protocols.
+
+:class:`~repro.network.arq.FlowArq` is a pure state machine and
+:func:`~repro.network.channel.resolve_launch` is a pure function of its
+transmit callback and fate/delay sampler, so both are testable with a
+*stub* transport (fixed latency, no contention) and *scripted* channel
+fates -- hypothesis explores arbitrary drop/delay patterns and the
+invariants must hold for every one of them:
+
+* every packet is delivered exactly once per flow, whatever the drop
+  pattern (all three protocols);
+* go-back-n acceptance is in sequence order (the receiver has no
+  reorder buffer);
+* no drop pattern finishes *earlier* than the lossless run (originals
+  follow the fixed round schedule, so failures only ever add work);
+* on a perfect channel the protocols never act: all three produce
+  identical delivery schedules, attempt-for-attempt;
+* stop-and-wait throughput is monotone non-increasing in the loss rate
+  (seed-averaged, on the real channel sampler).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.arq import ARQ_PROTOCOLS, MAX_ATTEMPTS, FlowArq
+from repro.network.backend import PathTiming
+from repro.network.channel import ChannelModel, parse_channel, resolve_launch
+
+ROUND_GAP = 16.0
+STUB_LATENCY = 4.0
+
+
+def stub_transmit(src, dst, now):
+    """Contention-free transport: inject immediately, fixed latency."""
+    return PathTiming(t_inject=now, t_deliver=now + STUB_LATENCY, blocking=0.0)
+
+
+class ScriptedSampler:
+    """Channel sampler whose fates/delays follow explicit scripts.
+
+    Once a script is exhausted the channel turns perfect (every attempt
+    succeeds, zero extra delay), which bounds every run: any finite drop
+    pattern terminates.
+    """
+
+    def __init__(self, fates=(), delays=()):
+        self._fates = list(fates)
+        self._delays = list(delays)
+
+    def fate(self):
+        return self._fates.pop(0) if self._fates else True
+
+    def delay(self):
+        return self._delays.pop(0) if self._delays else 0.0
+
+
+def scripted_model(protocol, fates=(), delays=()):
+    model = ChannelModel(
+        parse_channel("loss:0.5"), protocol, seed=0, p_len=16,
+        round_gap=ROUND_GAP,
+    )
+    model.sampler = ScriptedSampler(fates, delays)
+    return model
+
+
+def launch(protocol, n, total, fates=(), delays=()):
+    return resolve_launch(
+        stub_transmit, scripted_model(protocol, fates, delays),
+        coords=list(range(n)), offsets=[1] * total, now=0.0,
+        round_gap=ROUND_GAP,
+    )
+
+
+protocols = st.sampled_from(ARQ_PROTOCOLS)
+fate_scripts = st.lists(st.booleans(), max_size=64)
+delay_scripts = st.lists(
+    st.integers(min_value=0, max_value=512).map(lambda v: v / 8.0),
+    max_size=48,
+)
+
+
+class TestDeliveryInvariants:
+    @given(protocol=protocols, n=st.integers(1, 4), total=st.integers(1, 6),
+           fates=fate_scripts, delays=delay_scripts)
+    @settings(max_examples=120, deadline=None)
+    def test_exactly_once_under_any_pattern(
+        self, protocol, n, total, fates, delays
+    ):
+        result = launch(protocol, n, total, fates, delays)
+        assert result.stats.packets == n * total
+        for accepts in result.accepts:
+            assert sorted(accepts) == list(range(total))
+        # attempts cover at least one physical send per packet, and a
+        # resend for (at least) every scripted drop that was consumed
+        assert result.attempts >= n * total
+
+    @given(n=st.integers(1, 3), total=st.integers(2, 6),
+           fates=fate_scripts, delays=delay_scripts)
+    @settings(max_examples=120, deadline=None)
+    def test_go_back_n_accepts_in_order(self, n, total, fates, delays):
+        result = launch("go-back-n", n, total, fates, delays)
+        for accepts in result.accepts:
+            times = [accepts[k] for k in range(total)]
+            assert all(a <= b for a, b in zip(times, times[1:]))
+
+    @given(protocol=protocols, n=st.integers(1, 3), total=st.integers(1, 5),
+           fates=fate_scripts)
+    @settings(max_examples=120, deadline=None)
+    def test_losses_never_finish_earlier(self, protocol, n, total, fates):
+        """Originals follow the fixed round schedule, so a drop pattern
+        can only add retransmissions -- the last delivery of any lossy
+        run is at or after the lossless one's."""
+        lossless = launch(protocol, n, total)
+        lossy = launch(protocol, n, total, fates)
+        assert lossy.stats.last_delivery >= lossless.stats.last_delivery
+        assert lossy.attempts >= lossless.attempts
+
+    @given(n=st.integers(1, 4), total=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_channel_is_protocol_invariant(self, n, total):
+        """On a perfect, delay-free channel no protocol ever acts:
+        identical accept schedules and exactly one attempt per packet,
+        for all three protocols."""
+        results = [launch(p, n, total) for p in ARQ_PROTOCOLS]
+        baseline = results[0]
+        assert baseline.attempts == n * total
+        for other in results[1:]:
+            assert other.accepts == baseline.accepts
+            assert other.attempts == baseline.attempts
+            assert other.stats == baseline.stats
+
+    @given(n=st.integers(1, 3), total=st.integers(1, 6),
+           delays=delay_scripts)
+    @settings(max_examples=80, deadline=None)
+    def test_lossless_delays_keep_saw_and_sr_identical(
+        self, n, total, delays
+    ):
+        """Channel delays can reorder deliveries without any loss.
+        Neither stop-and-wait nor selective-repeat discards out-of-order
+        arrivals, so they stay schedule-identical; go-back-n may act
+        (its receiver drops reordered packets), which is exactly why it
+        is excluded here."""
+        saw = launch("stop-and-wait", n, total, fates=(), delays=list(delays))
+        sr = launch(
+            "selective-repeat", n, total, fates=(), delays=list(delays)
+        )
+        assert saw.accepts == sr.accepts
+        assert saw.attempts == sr.attempts == n * total
+        assert saw.stats == sr.stats
+
+
+class TestStopAndWaitThroughput:
+    def test_monotone_non_increasing_in_loss(self):
+        """Seed-averaged makespan grows (throughput falls) as the loss
+        rate rises, on the real channel sampler."""
+        n, total, seeds = 3, 5, range(12)
+
+        def mean_makespan(loss: float) -> float:
+            spans = []
+            for seed in seeds:
+                model = ChannelModel(
+                    parse_channel(f"loss:{loss}"), "stop-and-wait",
+                    seed=seed, p_len=16, round_gap=ROUND_GAP,
+                )
+                result = resolve_launch(
+                    stub_transmit, model, coords=list(range(n)),
+                    offsets=[1] * total, now=0.0, round_gap=ROUND_GAP,
+                )
+                spans.append(result.stats.last_delivery)
+            return sum(spans) / len(spans)
+
+        makespans = [mean_makespan(p) for p in (0.0, 0.15, 0.35, 0.6)]
+        assert all(a <= b for a, b in zip(makespans, makespans[1:]))
+        assert makespans[0] < makespans[-1]
+
+
+class TestFlowArqStateMachine:
+    @given(protocol=protocols, seq=st.integers(0, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_duplicate_arrival_rejected(self, protocol, seq):
+        flow = FlowArq(protocol, total=8, timeout=32.0, spacing=16.0)
+        if protocol == "go-back-n":
+            for s in range(seq + 1):
+                assert flow.on_arrival(s, float(s))
+        else:
+            assert flow.on_arrival(seq, 1.0)
+        t_first = flow.accepted[seq]
+        assert not flow.on_arrival(seq, t_first + 99.0)
+        assert flow.accepted[seq] == t_first
+
+    def test_go_back_n_discards_out_of_order(self):
+        flow = FlowArq("go-back-n", total=3, timeout=32.0, spacing=16.0)
+        assert not flow.on_arrival(2, 1.0)  # ahead of the cursor: dropped
+        assert flow.on_arrival(0, 2.0)
+        assert flow.on_arrival(1, 3.0)
+        assert flow.on_arrival(2, 4.0)  # cursor caught up
+        assert flow.done
+
+    def test_send_suppressed_after_accept(self):
+        flow = FlowArq("selective-repeat", total=2, timeout=32.0, spacing=16.0)
+        assert flow.should_send(0)
+        assert flow.on_arrival(0, 5.0)
+        assert not flow.should_send(0)
+
+    def test_stop_and_wait_paces_resends(self):
+        flow = FlowArq("stop-and-wait", total=4, timeout=32.0, spacing=16.0)
+        for seq in range(4):
+            flow.should_send(seq)
+        sends = [flow.on_failure(seq, 100.0)[0][0] for seq in range(4)]
+        gaps = [b - a for a, b in zip(sends, sends[1:])]
+        assert all(g >= flow.timeout for g in gaps)
+
+    def test_backoff_doubles_and_caps(self):
+        flow = FlowArq("selective-repeat", total=1, timeout=8.0, spacing=16.0)
+        delays = []
+        for _ in range(14):
+            flow.should_send(0)
+            flow.pending.discard(0)
+            delays.append(flow.detect_delay(0))
+        assert delays[0] == 8.0
+        assert delays[1] == 16.0
+        assert delays[-1] == delays[-2]  # capped
+
+    def test_attempt_cap_raises(self):
+        flow = FlowArq("selective-repeat", total=1, timeout=1.0, spacing=1.0)
+        try:
+            for _ in range(MAX_ATTEMPTS + 1):
+                flow.should_send(0)
+                flow.pending.discard(0)
+        except RuntimeError as exc:
+            assert "exceeded" in str(exc)
+        else:
+            raise AssertionError("MAX_ATTEMPTS cap never tripped")

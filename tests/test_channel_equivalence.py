@@ -1,0 +1,164 @@
+"""Equivalence gates for the lossy-channel layer.
+
+Two tiers, per the channel layer's contract
+(:mod:`repro.network.channel`):
+
+* **Same seed -> bit-exact.**  Channel fates come from a dedicated RNG
+  stream that is a pure function of the replication seed, so the same
+  lossy point must produce *identical* metrics whether it runs under the
+  reference engine or the SoA lockstep engine's fallback path, and
+  whether the campaign dispatches it serially, on a thread pool or on a
+  process pool.
+* **Disjoint seeds -> statistically identical.**  Across seed sets the
+  runs are distinct samples of one distribution; the
+  :mod:`tests.statgate` harness (Welch verdicts at ``alpha=0.01``) must
+  find no directional difference between implementations -- and *must*
+  flag genuinely different physics (higher loss) to prove the gate has
+  teeth.
+"""
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.experiments.campaign import (
+    Campaign,
+    PointSpec,
+    Scale,
+    run_spec_batch,
+    run_spec_replication,
+)
+from repro.experiments.store import ResultCache
+from repro.stats.compare import MetricSummary
+from tests.statgate import assert_statistically_identical, replicate
+
+LOSSY = SimConfig(
+    width=8, length=8, jobs=40, seed=3,
+    channel="loss:0.1 + delay:exp:0.05", arq="selective-repeat",
+)
+EQ_SCALE = Scale("chan-eq", jobs=40, min_replications=2,
+                 max_replications=2, trace_max_jobs=200)
+
+
+def lossy_spec(config: SimConfig = LOSSY, **config_over) -> PointSpec:
+    if config_over:
+        config = config.with_(**config_over)
+    return PointSpec(
+        workload="uniform", load=0.02, alloc="GABL", sched="FCFS",
+        scale=EQ_SCALE, config=config,
+    )
+
+
+class TestSameSeedBitExact:
+    @pytest.mark.parametrize(
+        "arq", ["stop-and-wait", "go-back-n", "selective-repeat"]
+    )
+    def test_reference_vs_soa_fallback(self, arq):
+        """The SoA engine falls back to interleaved reference runs when a
+        channel is active; the fallback must be bit-identical, per seed,
+        to the plain reference engine under every ARQ protocol."""
+        seeds = (3, 4, 5)
+        ref = [
+            run_spec_replication(lossy_spec(arq=arq), s) for s in seeds
+        ]
+        soa = run_spec_batch(lossy_spec(arq=arq, engine="soa"), seeds)
+        assert ref == soa
+
+    @pytest.mark.parametrize("executor_kind", ["thread", "process"])
+    def test_executors_agree_with_serial(self, executor_kind, tmp_path):
+        """One lossy campaign, three dispatch strategies, identical
+        results: replication seeds and channel fates are pure functions
+        of the spec, never of the worker that runs them."""
+        def run(kind: str, jobs: int):
+            campaign = Campaign(
+                [lossy_spec(), lossy_spec(arq="go-back-n")]
+            )
+            results = campaign.run(
+                jobs=jobs, executor_kind=kind,
+                cache=ResultCache(tmp_path / kind),
+            )
+            return {spec.key(): dict(result)
+                    for spec, result in results.items()}
+
+        serial = run("serial", 1)
+        other = run(executor_kind, 2)
+        assert serial == other
+
+
+class TestDisjointSeedStatistics:
+    def test_reference_vs_soa_fallback_statistically(self):
+        """Fed *disjoint* seed sets, the two engines are independent
+        samples of the same lossy model: the statistical gate must pass
+        at alpha=0.01 on every campaign metric."""
+        a = replicate(
+            lambda seed: run_spec_replication(lossy_spec(), seed),
+            seeds=range(100, 108),
+        )
+        b = replicate(
+            lambda seed: run_spec_replication(lossy_spec(engine="soa"), seed),
+            seeds=range(200, 208),
+        )
+        assert_statistically_identical(a, b, alpha=0.01)
+
+    def test_gate_flags_different_loss_rates(self):
+        """The gate is not vacuous: raising the loss rate changes the
+        physics (more retransmissions, longer turnarounds) and must be
+        flagged as a directional difference."""
+        a = replicate(
+            lambda seed: run_spec_replication(
+                lossy_spec(channel="loss:0.02", arq="selective-repeat"), seed
+            ),
+            seeds=range(100, 106),
+        )
+        b = replicate(
+            lambda seed: run_spec_replication(
+                lossy_spec(channel="loss:0.35", arq="stop-and-wait"), seed
+            ),
+            seeds=range(200, 206),
+        )
+        with pytest.raises(AssertionError, match="statistically distinct"):
+            assert_statistically_identical(a, b, alpha=0.01)
+
+
+class TestStatgateHarness:
+    """Unit coverage of the gate itself on synthetic summaries."""
+
+    @staticmethod
+    def summary(values):
+        return {"m": MetricSummary.from_values(values)}
+
+    def test_identical_summaries_pass(self):
+        a = self.summary([1.0, 1.1, 0.9, 1.05])
+        assert_statistically_identical(a, dict(a))
+
+    def test_noise_within_alpha_passes(self):
+        a = self.summary([10.0, 10.2, 9.8, 10.1, 9.9])
+        b = self.summary([10.1, 9.9, 10.05, 10.0, 9.95])
+        comparisons = assert_statistically_identical(a, b, alpha=0.01)
+        assert [c.metric for c in comparisons] == ["m"]
+
+    def test_clear_shift_fails(self):
+        a = self.summary([10.0, 10.2, 9.8, 10.1, 9.9])
+        b = self.summary([20.0, 20.2, 19.8, 20.1, 19.9])
+        with pytest.raises(AssertionError, match="statistically distinct"):
+            assert_statistically_identical(a, b, alpha=0.01)
+
+    def test_rel_tol_dead_band(self):
+        a = self.summary([100.0, 100.0, 100.0])
+        b = self.summary([100.5, 100.5, 100.5])
+        with pytest.raises(AssertionError):
+            assert_statistically_identical(a, b)
+        assert_statistically_identical(a, b, rel_tol=0.01)
+
+    def test_metric_mismatch_is_an_error(self):
+        a = self.summary([1.0, 2.0])
+        with pytest.raises(ValueError, match="absent"):
+            assert_statistically_identical(a, {})
+
+    def test_replicate_requires_stable_metric_set(self):
+        outputs = iter([{"m": 1.0}, {"other": 2.0}])
+        with pytest.raises(ValueError, match="reported metrics"):
+            replicate(lambda seed: next(outputs), seeds=[0, 1])
+
+    def test_replicate_needs_seeds(self):
+        with pytest.raises(ValueError, match="at least one seed"):
+            replicate(lambda seed: {"m": 0.0}, seeds=[])

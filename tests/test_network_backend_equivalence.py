@@ -142,6 +142,97 @@ class TestLaunchLevelEquivalence:
         launch_pair(48, 9, seeds=1, solver="numpy")
 
 
+class TestTrivialChannelEquivalence:
+    """A trivial channel policy must be invisible, bit for bit.
+
+    ``channel="loss:0"`` (zero failure probability, no delay) makes the
+    simulator skip the channel machinery entirely, so it must be
+    *exactly* the unset-channel run -- across all four network modes and
+    both execution engines.  This is the boundary between the repo's
+    bit-exact invariant (trivial policies) and the statistical gate
+    (non-trivial ones, ``tests/test_channel_equivalence.py``).
+    """
+
+    SCALE = Scale("ch-eq", jobs=40, min_replications=1,
+                  max_replications=1, trace_max_jobs=200)
+
+    @classmethod
+    def point_metrics(cls, mode: str, engine: str, channel: str | None):
+        from repro.experiments.campaign import (
+            PointSpec, run_spec_batch, run_spec_replication,
+        )
+        spec = PointSpec(
+            workload="uniform", load=0.02, alloc="GABL", sched="FCFS",
+            scale=cls.SCALE,
+            config=SMALL.with_(engine=engine, channel=channel),
+            network_mode=mode,
+        )
+        if engine == "soa":
+            return run_spec_batch(spec, (3,))[0]
+        return run_spec_replication(spec, 3)
+
+    @pytest.mark.parametrize("mode", ["fast", "batch", "causal", "sfb"])
+    @pytest.mark.parametrize("engine", ["reference", "soa"])
+    def test_loss0_bit_identical_to_no_channel(self, mode, engine):
+        assert self.point_metrics(mode, engine, None) == \
+            self.point_metrics(mode, engine, "loss:0")
+
+    def test_trivial_spellings_canonicalise(self):
+        from repro.network.channel import canonical_channel
+        for spelling in ("loss:0", "corrupt:0", "loss:0 + delay:fixed:0"):
+            assert canonical_channel(spelling) == "loss:0"
+
+
+class TestWorkloadStreamIsolation:
+    """Enabling a channel must not perturb the workload RNG stream.
+
+    Channel fates/delays draw from a dedicated
+    ``default_rng((CHANNEL_STREAM, seed))`` generator, never from the
+    workload's ``default_rng(seed)``: the *arrival process* (times and
+    job shapes) of a lossy run is identical to the lossless run's.
+    """
+
+    def arrivals(self, channel: str | None, arq: str | None):
+        from repro.core.hooks import SimObserver
+
+        class Log(SimObserver):
+            __slots__ = ("events",)
+
+            def __init__(self):
+                self.events = []
+
+            def on_arrival(self, now, job, queue_length):
+                self.events.append(
+                    (now, job.arrival_time, job.width, job.length,
+                     job.messages)
+                )
+
+        log = Log()
+        cfg = SMALL.with_(channel=channel, arq=arq)
+        sim = Simulator(
+            cfg,
+            make_allocator("GABL", cfg.width, cfg.length),
+            make_scheduler("FCFS"),
+            make_workload("uniform", cfg, 0.02, TRACE_SCALE),
+            seed=17,
+            observers=(log,),
+        )
+        sim.run()
+        return log.events
+
+    def test_lossy_channel_leaves_arrival_process_untouched(self):
+        clean = self.arrivals(None, None)
+        lossy = self.arrivals(
+            "loss:0.15 + delay:exp:0.1", "selective-repeat"
+        )
+        # the lossy run takes longer to complete its job quota, so it can
+        # observe *more* arrivals -- but the stream itself (times and job
+        # shapes) must agree event-for-event on the shared prefix
+        shared = min(len(clean), len(lossy))
+        assert shared >= SMALL.jobs
+        assert clean[:shared] == lossy[:shared]
+
+
 class TestNativeGating:
     def test_disable_via_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_NATIVE", "0")
